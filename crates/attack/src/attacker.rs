@@ -1,0 +1,115 @@
+//! The attacker model of Section IV-A.
+//!
+//! The attacker eavesdrops on SCADA traffic, learns the measurement
+//! matrix `H_t` in force at some time, and crafts stealthy attacks
+//! `a = H_t c`. Learning takes hours (500–1000 informative measurement
+//! snapshots per [17] of the paper), so between sufficiently frequent MTD
+//! perturbations the attacker's knowledge is **stale**: attacks are built
+//! against the *pre-perturbation* `H_t`, not the current `H'_t'`. This
+//! staleness is exactly the lever MTD exploits.
+
+use gridmtd_linalg::{LinalgError, Matrix};
+use rand::Rng;
+
+use crate::{random_attack_set, FdiAttack};
+
+/// An attacker holding a (possibly stale) snapshot of the measurement
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct AttackerKnowledge {
+    h: Matrix,
+    acquired_at_hour: u32,
+}
+
+impl AttackerKnowledge {
+    /// Attacker who learned `h` at the given timeline hour.
+    pub fn learned(h: Matrix, acquired_at_hour: u32) -> AttackerKnowledge {
+        AttackerKnowledge {
+            h,
+            acquired_at_hour,
+        }
+    }
+
+    /// The measurement matrix the attacker believes is current.
+    pub fn h(&self) -> &Matrix {
+        &self.h
+    }
+
+    /// Hour at which the snapshot was taken.
+    pub fn acquired_at_hour(&self) -> u32 {
+        self.acquired_at_hour
+    }
+
+    /// How stale the knowledge is at `now_hour` (saturating at 0).
+    pub fn staleness_hours(&self, now_hour: u32) -> u32 {
+        now_hour.saturating_sub(self.acquired_at_hour)
+    }
+
+    /// Crafts the deterministic stealthy attack `a = Hc` for state offset
+    /// `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `c` has the wrong length.
+    pub fn craft(&self, c: &[f64]) -> Result<FdiAttack, LinalgError> {
+        FdiAttack::from_state_offset(&self.h, c)
+    }
+
+    /// Crafts `count` random stealthy attacks scaled to
+    /// `‖a‖₁/‖z_ref‖₁ = magnitude_ratio` — the paper's attack ensemble
+    /// (1000 Gaussian `c` vectors at ratio 0.08).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn craft_random_set<R: Rng + ?Sized>(
+        &self,
+        z_ref: &[f64],
+        magnitude_ratio: f64,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Vec<FdiAttack>, LinalgError> {
+        random_attack_set(&self.h, z_ref, magnitude_ratio, count, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn staleness_accounting() {
+        let net = cases::case4();
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        let atk = AttackerKnowledge::learned(h, 8);
+        assert_eq!(atk.acquired_at_hour(), 8);
+        assert_eq!(atk.staleness_hours(9), 1);
+        assert_eq!(atk.staleness_hours(8), 0);
+        assert_eq!(atk.staleness_hours(5), 0); // time travel saturates
+    }
+
+    #[test]
+    fn crafted_attacks_use_the_stale_matrix() {
+        let net = cases::case4();
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        let atk = AttackerKnowledge::learned(h.clone(), 0);
+        let c = vec![0.0, 0.0, 1.0];
+        let a = atk.craft(&c).unwrap();
+        assert_eq!(a.vector, h.matvec(&c).unwrap());
+    }
+
+    #[test]
+    fn random_set_delegates_to_fdi() {
+        let net = cases::case14();
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        let z = vec![1.0; h.rows()];
+        let atk = AttackerKnowledge::learned(h, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = atk.craft_random_set(&z, 0.08, 10, &mut rng).unwrap();
+        assert_eq!(set.len(), 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! Construction of stealthy false-data-injection attack vectors.
+//!
+//! Per Liu–Ning–Reiter (and Section III of the MTD paper), any attack of
+//! the form `a = Hc` is *undetectable* by the BDD associated with
+//! measurement matrix `H`: it shifts the state estimate by `c` while
+//! leaving the residual untouched. This module builds such attacks and
+//! scales them the way the paper's simulations do
+//! (`‖a‖₁/‖z‖₁ ≈ 0.08`).
+
+use gridmtd_linalg::{vector, LinalgError, Matrix};
+use gridmtd_stats::normal;
+use rand::Rng;
+
+/// A stealthy FDI attack: the injected vector together with the state
+/// offset `c` that generated it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdiAttack {
+    /// Injected measurement perturbation `a = Hc`.
+    pub vector: Vec<f64>,
+    /// State-space attack direction `c` (dimension `N − 1`).
+    pub c: Vec<f64>,
+}
+
+impl FdiAttack {
+    /// Crafts `a = Hc` for a chosen state offset `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `c.len() != h.cols()`.
+    pub fn from_state_offset(h: &Matrix, c: &[f64]) -> Result<FdiAttack, LinalgError> {
+        let vector = h.matvec(c)?;
+        Ok(FdiAttack {
+            vector,
+            c: c.to_vec(),
+        })
+    }
+
+    /// Crafts a random stealthy attack: `c ~ N(0, I)`, then `a = Hc`
+    /// scaled so that `‖a‖₁/‖z_ref‖₁ = magnitude_ratio` (the paper uses
+    /// 0.08 so injections stay small relative to real measurements).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinalgError`] if shapes mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `magnitude_ratio` is not positive and finite, or if
+    /// `z_ref` is all zeros.
+    pub fn random_scaled<R: Rng + ?Sized>(
+        h: &Matrix,
+        z_ref: &[f64],
+        magnitude_ratio: f64,
+        rng: &mut R,
+    ) -> Result<FdiAttack, LinalgError> {
+        assert!(
+            magnitude_ratio > 0.0 && magnitude_ratio.is_finite(),
+            "magnitude_ratio must be positive, got {magnitude_ratio}"
+        );
+        let z_norm = vector::norm1(z_ref);
+        assert!(z_norm > 0.0, "reference measurement vector is zero");
+        let c: Vec<f64> = (0..h.cols()).map(|_| normal::sample_standard(rng)).collect();
+        let mut attack = FdiAttack::from_state_offset(h, &c)?;
+        let a_norm = vector::norm1(&attack.vector);
+        if a_norm > 0.0 {
+            let s = magnitude_ratio * z_norm / a_norm;
+            attack.vector = vector::scale(s, &attack.vector);
+            attack.c = vector::scale(s, &attack.c);
+        }
+        Ok(attack)
+    }
+
+    /// ℓ₁ magnitude of the injected vector.
+    pub fn magnitude(&self) -> f64 {
+        vector::norm1(&self.vector)
+    }
+
+    /// Applies the attack to a measurement vector, returning `z + a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn apply(&self, z: &[f64]) -> Vec<f64> {
+        vector::add(z, &self.vector)
+    }
+}
+
+/// Generates `count` random scaled stealthy attacks (the paper's
+/// Monte-Carlo attack set of 1000 vectors).
+///
+/// # Errors
+///
+/// Propagates construction failures from [`FdiAttack::random_scaled`].
+pub fn random_attack_set<R: Rng + ?Sized>(
+    h: &Matrix,
+    z_ref: &[f64],
+    magnitude_ratio: f64,
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<FdiAttack>, LinalgError> {
+    (0..count)
+        .map(|_| FdiAttack::random_scaled(h, z_ref, magnitude_ratio, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::{cases, dcpf};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn h14() -> (Matrix, Vec<f64>) {
+        let net = cases::case14();
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        let pf = dcpf::solve_dispatch(&net, &x, &[150.0, 40.0, 20.0, 30.0, 19.0]).unwrap();
+        (h, pf.measurement_vector())
+    }
+
+    #[test]
+    fn attack_lies_in_column_space() {
+        let (h, _) = h14();
+        let c = vec![0.01; h.cols()];
+        let a = FdiAttack::from_state_offset(&h, &c).unwrap();
+        // Residual after projecting onto Col(H) is zero.
+        let p = gridmtd_linalg::subspace::complement_projector(&h).unwrap();
+        let r = p.matvec(&a.vector).unwrap();
+        assert!(vector::norm2(&r) < 1e-6 * vector::norm2(&a.vector).max(1.0));
+    }
+
+    #[test]
+    fn scaling_hits_the_requested_ratio() {
+        let (h, z) = h14();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = FdiAttack::random_scaled(&h, &z, 0.08, &mut rng).unwrap();
+        let ratio = a.magnitude() / vector::norm1(&z);
+        assert!((ratio - 0.08).abs() < 1e-10, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_c_remains_consistent_with_vector() {
+        let (h, z) = h14();
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = FdiAttack::random_scaled(&h, &z, 0.05, &mut rng).unwrap();
+        let recomputed = h.matvec(&a.c).unwrap();
+        assert!(vector::approx_eq(&recomputed, &a.vector, 1e-9));
+    }
+
+    #[test]
+    fn apply_adds_attack() {
+        let (h, z) = h14();
+        let c = vec![0.001; h.cols()];
+        let a = FdiAttack::from_state_offset(&h, &c).unwrap();
+        let za = a.apply(&z);
+        for ((zi, ai), zai) in z.iter().zip(a.vector.iter()).zip(za.iter()) {
+            assert!((zi + ai - zai).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn attack_set_has_requested_size_and_variety() {
+        let (h, z) = h14();
+        let mut rng = StdRng::seed_from_u64(21);
+        let set = random_attack_set(&h, &z, 0.08, 50, &mut rng).unwrap();
+        assert_eq!(set.len(), 50);
+        // All distinct (as random draws).
+        for w in set.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn wrong_c_dimension_is_error() {
+        let (h, _) = h14();
+        assert!(FdiAttack::from_state_offset(&h, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "magnitude_ratio must be positive")]
+    fn non_positive_ratio_panics() {
+        let (h, z) = h14();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = FdiAttack::random_scaled(&h, &z, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! False-data-injection (FDI) attacks against power-grid state
+//! estimation.
+//!
+//! Implements the attacker side of Lakshminarayana & Yau (DSN 2018):
+//!
+//! * [`FdiAttack`] — stealthy attacks `a = Hc` that bypass the BDD of the
+//!   measurement matrix they were crafted against, scaled to a target
+//!   `‖a‖₁/‖z‖₁` ratio like the paper's simulations,
+//! * [`AttackerKnowledge`] — the eavesdropping attacker of Section IV-A,
+//!   whose snapshot of `H` goes stale between MTD perturbations,
+//! * [`detection`] — analytic (noncentral-χ²) and Monte-Carlo evaluation
+//!   of detection probabilities under a (possibly different) post-MTD
+//!   detector.
+//!
+//! # Example
+//!
+//! ```
+//! use gridmtd_attack::FdiAttack;
+//! use gridmtd_powergrid::cases;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = cases::case4();
+//! let h = net.measurement_matrix(&net.nominal_reactances())?;
+//! // "Attack 2" of the paper's Table I: c = e4 (bus-4 state offset).
+//! let attack = FdiAttack::from_state_offset(&h, &[0.0, 0.0, 1.0])?;
+//! assert_eq!(attack.vector.len(), h.rows());
+//! # Ok(())
+//! # }
+//! ```
+
+mod attacker;
+pub mod detection;
+mod fdi;
+pub mod learning;
+
+pub use attacker::AttackerKnowledge;
+pub use detection::{detection_probabilities, monte_carlo_detection_probability};
+pub use fdi::{random_attack_set, FdiAttack};
+pub use learning::SubspaceLearner;

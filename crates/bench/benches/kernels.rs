@@ -1,0 +1,104 @@
+//! Criterion benches for the numerical kernels underlying every
+//! experiment: subspace angles (Björck–Golub), DC power flow, WLS + BDD
+//! residual evaluation and closed-form attack scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use gridmtd_core::spa;
+use gridmtd_estimation::{BadDataDetector, NoiseModel, StateEstimator};
+use gridmtd_powergrid::{cases, dcpf};
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma");
+    for (name, net) in [("case14", cases::case14()), ("case30", cases::case30())] {
+        let x0 = net.nominal_reactances();
+        let h0 = net.measurement_matrix(&x0).unwrap();
+        let mut x1 = x0.clone();
+        for (k, l) in net.dfacts_branches().into_iter().enumerate() {
+            x1[l] *= if k % 2 == 0 { 1.3 } else { 0.7 };
+        }
+        let h1 = net.measurement_matrix(&x1).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| spa::gamma(black_box(&h0), black_box(&h1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dcpf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dc_power_flow");
+    for (name, net, dispatch) in [
+        ("case14", cases::case14(), vec![150.0, 40.0, 20.0, 30.0, 19.0]),
+        (
+            "case30",
+            cases::case30(),
+            vec![60.0, 55.0, 25.0, 20.0, 15.0, 14.2],
+        ),
+    ] {
+        let x = net.nominal_reactances();
+        group.bench_function(name, |b| {
+            b.iter(|| dcpf::solve_dispatch(black_box(&net), &x, &dispatch).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_measurement_matrix(c: &mut Criterion) {
+    let net = cases::case30();
+    let x = net.nominal_reactances();
+    c.bench_function("measurement_matrix/case30", |b| {
+        b.iter(|| net.measurement_matrix(black_box(&x)).unwrap())
+    });
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let net = cases::case14();
+    let x = net.nominal_reactances();
+    let h = net.measurement_matrix(&x).unwrap();
+    let noise = NoiseModel::uniform(h.rows(), 0.1);
+    let est = StateEstimator::new(h, &noise).unwrap();
+    let bdd = BadDataDetector::new(est, 5e-4);
+    let pf = dcpf::solve_dispatch(&net, &x, &[150.0, 40.0, 20.0, 30.0, 19.0]).unwrap();
+    let z = pf.measurement_vector();
+
+    c.bench_function("bdd_residual_test/case14", |b| {
+        b.iter(|| bdd.test(black_box(&z)).unwrap())
+    });
+
+    // Estimator construction (per-MTD cost in sweeps).
+    let h2 = net.measurement_matrix(&x).unwrap();
+    c.bench_function("estimator_build/case14", |b| {
+        b.iter_batched(
+            || h2.clone(),
+            |h| StateEstimator::new(h, &noise).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_detection_probability(c: &mut Criterion) {
+    let net = cases::case14();
+    let x = net.nominal_reactances();
+    let h = net.measurement_matrix(&x).unwrap();
+    let mut x1 = x.clone();
+    for (k, l) in net.dfacts_branches().into_iter().enumerate() {
+        x1[l] *= if k % 2 == 0 { 1.4 } else { 0.6 };
+    }
+    let h1 = net.measurement_matrix(&x1).unwrap();
+    let noise = NoiseModel::uniform(h1.rows(), 0.1);
+    let est = StateEstimator::new(h1, &noise).unwrap();
+    let bdd = BadDataDetector::new(est, 5e-4);
+    let c_vec: Vec<f64> = (0..h.cols()).map(|i| 0.002 * (i as f64 + 1.0)).collect();
+    let a = h.matvec(&c_vec).unwrap();
+    c.bench_function("analytic_detection_probability/case14", |b| {
+        b.iter(|| bdd.detection_probability(black_box(&a)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gamma, bench_dcpf, bench_measurement_matrix, bench_bdd, bench_detection_probability
+}
+criterion_main!(kernels);

@@ -1,0 +1,76 @@
+//! Criterion benches for the experiment-level pipelines: DC-OPF solves,
+//! full effectiveness evaluations (the inner loop of Figs. 6–9) and one
+//! SPA-constrained selection step (problem (4)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gridmtd_core::{effectiveness, selection, MtdConfig};
+use gridmtd_opf::{solve_opf, OpfOptions};
+use gridmtd_powergrid::cases;
+
+fn bench_opf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dc_opf");
+    let opts = OpfOptions::default();
+    for (name, net) in [
+        ("case4", cases::case4()),
+        ("case14", cases::case14()),
+        ("case30", cases::case30()),
+    ] {
+        let x = net.nominal_reactances();
+        group.bench_function(name, |b| {
+            b.iter(|| solve_opf(black_box(&net), &x, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_effectiveness(c: &mut Criterion) {
+    // The inner loop of the Fig. 6 sweeps: score one perturbation against
+    // a prebuilt ensemble (100 attacks here; 1000 in the paper runs).
+    let net = cases::case14();
+    let cfg = MtdConfig {
+        n_attacks: 100,
+        ..MtdConfig::default()
+    };
+    let x_pre = net.nominal_reactances();
+    let opf = solve_opf(&net, &x_pre, &cfg.opf_options()).unwrap();
+    let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf.dispatch, &cfg).unwrap();
+    let mut x_post = x_pre.clone();
+    for (k, l) in net.dfacts_branches().into_iter().enumerate() {
+        x_post[l] *= if k % 2 == 0 { 1.3 } else { 0.7 };
+    }
+    c.bench_function("effectiveness_eval/case14_100attacks", |b| {
+        b.iter(|| {
+            effectiveness::evaluate_with_attacks(
+                black_box(&net),
+                &x_pre,
+                &x_post,
+                &attacks,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    // One reduced-budget multistart round of the SPA-constrained OPF.
+    let net = cases::case14();
+    let cfg = MtdConfig {
+        n_starts: 1,
+        max_evals_per_start: 120,
+        ..MtdConfig::default()
+    };
+    let x_pre = net.nominal_reactances();
+    c.bench_function("select_mtd/case14_1start_120evals", |b| {
+        b.iter(|| selection::select_mtd(black_box(&net), &x_pre, 0.05, &cfg).unwrap())
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_opf, bench_effectiveness, bench_selection
+}
+criterion_main!(pipeline);

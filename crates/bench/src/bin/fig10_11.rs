@@ -1,0 +1,81 @@
+//! **Figs. 10 and 11** — MTD operation over a full day driven by the
+//! (synthetic) NYISO winter-weekday trace, IEEE 14-bus.
+//!
+//! * Fig. 10: hourly total load and MTD operational cost with `γ_th`
+//!   tuned each hour for `η'(0.9) ≥ 0.9`; the cost tracks load
+//!   (congestion at peak makes the MTD dearer).
+//! * Fig. 11: the three subspace angles per hour —
+//!   `γ(H_t, H_t')` (drift, ≈0), `γ(H_t, H'_t')` (defense) and
+//!   `γ(H_t', H'_t')`, with the latter two nearly equal (validating the
+//!   `γ(H_t, H'_t') ≈ γ(H_t', H'_t')` approximation of Section VI).
+//!
+//! Usage: `fig10_11 [--sigma MW] [--attacks N] [--starts N] [--evals N]`
+
+use gridmtd_bench::{paperconfig, report};
+use gridmtd_core::{timeline, MtdError, TimelineOptions};
+use gridmtd_powergrid::cases;
+use gridmtd_traces::nyiso_winter_weekday;
+
+fn main() -> Result<(), MtdError> {
+    let cfg = paperconfig::config_from_args();
+    report::banner(&format!(
+        "Figs. 10-11: daily MTD operation, IEEE 14-bus (sigma = {} MW)",
+        cfg.noise_sigma_mw
+    ));
+
+    let net = cases::case14();
+    let trace = nyiso_winter_weekday();
+    let opts = TimelineOptions::default();
+    let outcomes = timeline::simulate_day(&net, &trace, &opts, &cfg)?;
+
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                format!("{:02}:00", o.hour),
+                report::f(o.total_load_mw, 0),
+                report::f(o.cost_no_mtd, 0),
+                report::f(o.cost_with_mtd, 0),
+                report::f(o.cost_increase_percent, 2),
+                report::f(o.gamma_drift, 3),
+                report::f(o.gamma_defense, 3),
+                report::f(o.gamma_current, 3),
+                report::f(o.gamma_threshold, 2),
+                report::f(o.effectiveness, 3),
+                if o.target_met { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    report::table(
+        &[
+            "hour",
+            "load(MW)",
+            "C_opf($)",
+            "C_mtd($)",
+            "cost(%)",
+            "g(Ht,Ht')",
+            "g(Ht,H')",
+            "g(Ht',H')",
+            "g_th",
+            "eta(0.9)",
+            "met",
+        ],
+        &rows,
+    );
+    println!();
+    let peak = outcomes.iter().max_by(|a, b| {
+        a.cost_increase_percent
+            .partial_cmp(&b.cost_increase_percent)
+            .unwrap()
+    });
+    if let Some(p) = peak {
+        println!(
+            "costliest hour: {:02}:00 at {:.2}% (load {:.0} MW)",
+            p.hour, p.cost_increase_percent, p.total_load_mw
+        );
+    }
+    println!();
+    println!("paper (Fig. 10): cost rises with load, up to ~2.5-3% at the evening peak;");
+    println!("paper (Fig. 11): gamma(Ht,Ht') ~ 0 all day; the other two angles coincide.");
+    Ok(())
+}

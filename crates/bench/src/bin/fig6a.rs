@@ -1,0 +1,60 @@
+//! **Fig. 6(a)** — MTD effectiveness `η'(δ)` vs the subspace angle
+//! `γ(H_t, H'_t')` on the IEEE 14-bus system (static load,
+//! α = 5 × 10⁻⁴, 1000 attacks at ‖a‖₁/‖z‖₁ ≈ 0.08,
+//! δ ∈ {0.5, 0.8, 0.9, 0.95}).
+//!
+//! Methodology mirrors Section VII-B: the pre-perturbation reactances
+//! come from OPF (1) over the D-FACTS box (pinned to the spread box point
+//! so the paper's attainable range `γ ∈ [0, 0.45]` is reachable — see
+//! `gridmtd_core::selection::spread_pre_perturbation`); for each γ_th the
+//! SPA-constrained OPF (problem (4)) selects the perturbation.
+//!
+//! Usage: `fig6a [--sigma MW] [--attacks N] [--starts N] [--evals N]`
+
+use gridmtd_bench::{paperconfig, report};
+use gridmtd_core::{effectiveness, selection, MtdError};
+use gridmtd_powergrid::cases;
+
+fn main() -> Result<(), MtdError> {
+    let cfg = paperconfig::config_from_args();
+    report::banner(&format!(
+        "Fig. 6(a): effectiveness vs gamma, IEEE 14-bus (sigma = {} MW)",
+        cfg.noise_sigma_mw
+    ));
+
+    let net = cases::case14();
+    let x_pre = selection::spread_pre_perturbation(&net, cfg.eta_max);
+    let opf_pre = gridmtd_opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
+    let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf_pre.dispatch, &cfg)?;
+    let (_, ceiling) = selection::max_achievable_gamma(&net, &x_pre, &cfg)?;
+    println!("attainable gamma ceiling: {:.3} rad (paper sweeps to 0.45)", ceiling);
+    println!();
+
+    let deltas = [0.5, 0.8, 0.9, 0.95];
+    let mut rows = Vec::new();
+    let mut gamma_th = 0.05;
+    while gamma_th <= ceiling + 1e-9 {
+        match selection::select_mtd(&net, &x_pre, gamma_th, &cfg) {
+            Ok(sel) => {
+                let eval =
+                    effectiveness::evaluate_with_attacks(&net, &x_pre, &sel.x_post, &attacks, &cfg)?;
+                let mut row = vec![report::f(gamma_th, 2), report::f(eval.gamma, 3)];
+                for &d in &deltas {
+                    row.push(report::f(eval.effectiveness(d), 3));
+                }
+                rows.push(row);
+            }
+            Err(MtdError::ThresholdUnreachable { .. }) => break,
+            Err(e) => return Err(e),
+        }
+        gamma_th += 0.05;
+    }
+    report::table(
+        &["g_th", "g_ach", "eta(0.50)", "eta(0.80)", "eta(0.90)", "eta(0.95)"],
+        &rows,
+    );
+    println!();
+    println!("paper (read from Fig. 6a): eta rises monotonically with gamma;");
+    println!("at gamma = 0.44, 97% of attacks have detection probability >= 0.95.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! **Fig. 7** — effectiveness `η'(δ)` as a function of δ for five
+//! randomly-chosen MTD perturbations (the strategy of prior work
+//! [11–13]: each D-FACTS reactance within ±2% of its optimal value),
+//! IEEE 14-bus.
+//!
+//! Reproduction target: high trial-to-trial variability — random
+//! perturbations cannot guarantee effectiveness.
+//!
+//! Usage: `fig7 [--sigma MW] [--attacks N]`
+
+use gridmtd_bench::{paperconfig, report};
+use gridmtd_core::{effectiveness, tradeoff, MtdError};
+use gridmtd_powergrid::cases;
+
+fn main() -> Result<(), MtdError> {
+    let cfg = paperconfig::config_from_args();
+    report::banner(&format!(
+        "Fig. 7: five random +/-2% MTD perturbations, IEEE 14-bus (sigma = {} MW)",
+        cfg.noise_sigma_mw
+    ));
+
+    let net = cases::case14();
+    let x_pre = net.nominal_reactances();
+    let opf_pre = gridmtd_opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
+    let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf_pre.dispatch, &cfg)?;
+
+    let deltas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    // The paper states ±2% random perturbations, but at the noise level
+    // that reproduces its Fig. 6(a) such perturbations are *completely*
+    // ineffective (η'(δ) = 0 for all δ > 0) — an even stronger version
+    // of the paper's conclusion. The trial-to-trial variability the
+    // figure shows appears at larger random perturbations, so both
+    // fractions are reported (see EXPERIMENTS.md).
+    for fraction in [0.02, 0.5] {
+        println!("random perturbation fraction: +/-{:.0}%", fraction * 100.0);
+        let trials = tradeoff::random_keyspace_study(
+            &net, &x_pre, &attacks, fraction, 5, &deltas, &cfg,
+        )?;
+        let mut headers: Vec<String> = vec!["trial".into(), "gamma".into()];
+        headers.extend(deltas.iter().map(|d| format!("d={d:.1}")));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = trials
+            .iter()
+            .map(|t| {
+                let mut row = vec![format!("{}", t.trial + 1), report::f(t.gamma, 4)];
+                row.extend(t.effectiveness.iter().map(|&(_, e)| report::f(e, 3)));
+                row
+            })
+            .collect();
+        report::table(&headers_ref, &rows);
+        println!();
+    }
+    println!("paper: curves vary strongly across trials (no guarantee of");
+    println!("effectiveness from random perturbations).");
+    Ok(())
+}

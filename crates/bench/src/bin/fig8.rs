@@ -1,0 +1,57 @@
+//! **Fig. 8** — fraction of 500 randomly-chosen ±2% MTD perturbations
+//! (the "keyspace" of [11–12]) that satisfy `η'(δ) ≥ 0.9`, as a function
+//! of δ, IEEE 14-bus.
+//!
+//! Reproduction target: fewer than 10% of random perturbations satisfy
+//! `η'(0.9) ≥ 0.9`.
+//!
+//! Usage: `fig8 [--sigma MW] [--attacks N]`
+
+use gridmtd_bench::{paperconfig, report};
+use gridmtd_core::{effectiveness, tradeoff, MtdError};
+use gridmtd_powergrid::cases;
+
+fn main() -> Result<(), MtdError> {
+    let mut cfg = paperconfig::config_from_args();
+    // 500 keyspace trials x 1000 attacks is the paper's full setting; the
+    // analytic detection probabilities make it cheap enough to run as-is.
+    report::banner(&format!(
+        "Fig. 8: fraction of 500 random +/-2% perturbations with eta(delta) >= 0.9 (sigma = {} MW)",
+        cfg.noise_sigma_mw
+    ));
+    cfg.seed = 8;
+
+    let net = cases::case14();
+    let x_pre = net.nominal_reactances();
+    let opf_pre = gridmtd_opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
+    let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf_pre.dispatch, &cfg)?;
+
+    let deltas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    // As in Fig. 7, the literal ±2% keyspace is uniformly ineffective at
+    // the calibrated noise level; a full-D-FACTS-range (±50%) keyspace reproduces the
+    // paper's decay shape. Both are reported.
+    for fraction in [0.02, 0.5] {
+        println!("random perturbation fraction: +/-{:.0}%", fraction * 100.0);
+        let trials = tradeoff::random_keyspace_study(
+            &net, &x_pre, &attacks, fraction, 500, &deltas, &cfg,
+        )?;
+        let mut rows = Vec::new();
+        for (k, &d) in deltas.iter().enumerate() {
+            let good = trials
+                .iter()
+                .filter(|t| t.effectiveness[k].1 >= 0.9)
+                .count();
+            rows.push(vec![
+                report::f(d, 1),
+                format!("{good}/500"),
+                report::f(good as f64 / 500.0, 3),
+            ]);
+        }
+        report::table(&["delta", "count", "fraction"], &rows);
+        println!();
+    }
+    println!();
+    println!("paper: the fraction decays quickly with delta; fewer than 10% of");
+    println!("random perturbations satisfy eta(0.9) >= 0.9.");
+    Ok(())
+}

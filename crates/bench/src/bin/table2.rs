@@ -1,0 +1,39 @@
+//! **Table II** — pre-perturbation power flows, generator dispatch and
+//! OPF cost for the 4-bus system.
+//!
+//! Paper values: flows 126.56 / 173.44 / −43.44 / −26.56 MW, dispatch
+//! (350, 150) MW, cost $1.15 × 10⁴.
+
+use gridmtd_bench::report;
+use gridmtd_opf::{solve_opf_nominal, OpfOptions};
+use gridmtd_powergrid::cases;
+
+fn main() {
+    report::banner("Table II: pre-perturbation OPF, 4-bus system");
+    let net = cases::case4();
+    let sol = solve_opf_nominal(&net, &OpfOptions::default()).expect("feasible case");
+
+    let row = vec![
+        report::f(sol.flows[0], 2),
+        report::f(sol.flows[1], 2),
+        report::f(sol.flows[2], 2),
+        report::f(sol.flows[3], 2),
+        report::f(sol.dispatch[0], 2),
+        report::f(sol.dispatch[1], 2),
+        format!("{:.3e}", sol.cost),
+    ];
+    report::table(
+        &[
+            "Line1 (MW)",
+            "Line2 (MW)",
+            "Line3 (MW)",
+            "Line4 (MW)",
+            "Gen1 (MW)",
+            "Gen2 (MW)",
+            "Cost ($)",
+        ],
+        &[row],
+    );
+    println!();
+    println!("paper: 126.56  173.44  -43.44  -26.56  350  150  1.15e4");
+}

@@ -1,0 +1,10 @@
+//! Experiment harness for the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper
+//! (Lakshminarayana & Yau, DSN 2018); `EXPERIMENTS.md` at the workspace
+//! root records paper-vs-measured values. The [`report`] module holds the
+//! shared text-table printer, and [`paperconfig`] pins the calibrated
+//! experiment configuration (noise σ etc., see `DESIGN.md`).
+
+pub mod paperconfig;
+pub mod report;

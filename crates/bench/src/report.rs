@@ -1,0 +1,64 @@
+//! Minimal fixed-width table printing for experiment binaries.
+
+/// Prints a header banner for an experiment.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.len().max(20));
+    println!("{line}");
+    println!("{title}");
+    println!("{line}");
+}
+
+/// Prints a table with right-aligned numeric columns.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(widths.iter())
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("{}", header_line.join("  "));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", rule.join("  "));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", cells.join("  "));
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_formats_decimals() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(-0.5, 3), "-0.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

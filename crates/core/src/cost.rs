@@ -1,0 +1,51 @@
+//! The MTD operational-cost metric of Section VI.
+//!
+//! `C_MTD,t' = (C'_OPF,t' − C_OPF,t') / C_OPF,t'` — the relative increase
+//! in optimal-dispatch cost caused by holding the SPA constraint, over
+//! the cost the system would have achieved at the same hour without MTD.
+
+/// Relative MTD cost `(c_mtd − c_base)/c_base`, clamped at zero
+/// (numerical round-off can make an unconstrained optimum appear
+/// fractionally cheaper; the true quantity is non-negative by
+/// construction, eq. (3) of the paper).
+///
+/// # Panics
+///
+/// Panics if `c_base <= 0`.
+pub fn relative_cost_increase(c_base: f64, c_mtd: f64) -> f64 {
+    assert!(c_base > 0.0, "baseline cost must be positive, got {c_base}");
+    ((c_mtd - c_base) / c_base).max(0.0)
+}
+
+/// Same as [`relative_cost_increase`] but expressed in percent, matching
+/// the y-axes of Figs. 9–10.
+pub fn cost_increase_percent(c_base: f64, c_mtd: f64) -> f64 {
+    100.0 * relative_cost_increase(c_base, c_mtd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increase_is_relative() {
+        assert!((relative_cost_increase(10_000.0, 10_231.0) - 0.0231).abs() < 1e-12);
+        assert!((cost_increase_percent(10_000.0, 10_231.0) - 2.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundoff_negative_clamps_to_zero() {
+        assert_eq!(relative_cost_increase(10_000.0, 9_999.999_999), 0.0);
+    }
+
+    #[test]
+    fn zero_increase_for_identical_costs() {
+        assert_eq!(cost_increase_percent(11_500.0, 11_500.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline cost must be positive")]
+    fn non_positive_base_panics() {
+        relative_cost_increase(0.0, 1.0);
+    }
+}

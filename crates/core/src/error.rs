@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use gridmtd_estimation::EstimationError;
+use gridmtd_linalg::LinalgError;
+use gridmtd_opf::OpfError;
+use gridmtd_powergrid::GridError;
+
+/// Errors from MTD design and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MtdError {
+    /// The SPA-constrained OPF (problem (4)) found no reactance vector
+    /// meeting the requested angle threshold within the D-FACTS limits.
+    ThresholdUnreachable {
+        /// Requested angle threshold, radians.
+        requested: f64,
+        /// Best angle achieved by the search.
+        achieved: f64,
+    },
+    /// The OPF under every candidate perturbation was infeasible.
+    Infeasible,
+    /// Underlying grid-model failure.
+    Grid(GridError),
+    /// Underlying OPF failure.
+    Opf(OpfError),
+    /// Underlying estimation failure.
+    Estimation(EstimationError),
+    /// Underlying linear-algebra failure.
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for MtdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtdError::ThresholdUnreachable {
+                requested,
+                achieved,
+            } => write!(
+                f,
+                "SPA threshold {requested:.3} rad unreachable within D-FACTS limits (best {achieved:.3})"
+            ),
+            MtdError::Infeasible => write!(f, "no feasible MTD perturbation"),
+            MtdError::Grid(e) => write!(f, "grid error: {e}"),
+            MtdError::Opf(e) => write!(f, "OPF error: {e}"),
+            MtdError::Estimation(e) => write!(f, "estimation error: {e}"),
+            MtdError::Numerical(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl Error for MtdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MtdError::Grid(e) => Some(e),
+            MtdError::Opf(e) => Some(e),
+            MtdError::Estimation(e) => Some(e),
+            MtdError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GridError> for MtdError {
+    fn from(e: GridError) -> MtdError {
+        MtdError::Grid(e)
+    }
+}
+
+impl From<OpfError> for MtdError {
+    fn from(e: OpfError) -> MtdError {
+        MtdError::Opf(e)
+    }
+}
+
+impl From<EstimationError> for MtdError {
+    fn from(e: EstimationError) -> MtdError {
+        MtdError::Estimation(e)
+    }
+}
+
+impl From<LinalgError> for MtdError {
+    fn from(e: LinalgError) -> MtdError {
+        MtdError::Numerical(e)
+    }
+}

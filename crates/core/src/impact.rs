@@ -1,0 +1,178 @@
+//! Economic impact of *undetected* FDI attacks — the other side of the
+//! paper's insurance argument (Section VII-D).
+//!
+//! The paper justifies paying the MTD "premium" by comparing it against
+//! the damage an undetected attack can do: per its references [5], [20],
+//! a load-redistribution attack on the IEEE 14-bus system can inflate the
+//! OPF cost by up to 28%. This module implements that comparator: a
+//! stealthy attack `a = Hc` biases the state estimate by `c`, the
+//! operator re-dispatches against the falsified loads, and the realized
+//! cost of serving the *true* load from that distorted dispatch is
+//! compared with the honest optimum.
+
+use gridmtd_opf::{solve_opf, OpfSolution};
+use gridmtd_powergrid::{dcpf, Network};
+
+use crate::{MtdConfig, MtdError};
+
+/// Result of an attack-impact evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackImpact {
+    /// Honest OPF cost, $/h.
+    pub honest_cost: f64,
+    /// Cost of the dispatch chosen under falsified loads, $/h, evaluated
+    /// with the honest cost model.
+    pub attacked_cost: f64,
+    /// Relative damage `(attacked − honest)/honest` (≥ 0 for any
+    /// feasible distortion of a convex dispatch problem).
+    pub relative_damage: f64,
+    /// Branch overloads induced on the *true* system by the distorted
+    /// dispatch: `(branch, |flow|/limit)` for every branch pushed past
+    /// its limit — the trip risk the paper's Section VII-D alludes to.
+    pub overloads: Vec<(usize, f64)>,
+}
+
+/// Evaluates the impact of an undetected load-redistribution attack.
+///
+/// `load_bias` is the per-bus additive distortion (MW) the stealthy
+/// attack injects into the operator's load picture. Its entries should
+/// sum to ≈ 0 (a *redistribution*): the attacker moves apparent load
+/// between buses without changing the system total, which keeps the
+/// attack consistent with aggregate metering.
+///
+/// # Errors
+///
+/// * [`MtdError::Infeasible`] if the honest OPF is infeasible.
+/// * Propagates OPF failures on the falsified system (an infeasible
+///   falsified OPF means the attack would be noticed operationally; it
+///   is also reported as [`MtdError::Infeasible`]).
+pub fn load_redistribution_impact(
+    net: &Network,
+    load_bias: &[f64],
+    cfg: &MtdConfig,
+) -> Result<AttackImpact, MtdError> {
+    if load_bias.len() != net.n_buses() {
+        return Err(MtdError::Grid(
+            gridmtd_powergrid::GridError::DimensionMismatch {
+                what: "load_bias",
+                expected: net.n_buses(),
+                actual: load_bias.len(),
+            },
+        ));
+    }
+    let x = net.nominal_reactances();
+    let opts = cfg.opf_options();
+
+    // Honest dispatch.
+    let honest: OpfSolution = solve_opf(net, &x, &opts)?;
+
+    // Falsified system: the operator sees distorted loads and dispatches
+    // for them (clamped at zero; negative apparent load would be flagged).
+    let falsified_loads: Vec<f64> = net
+        .loads()
+        .iter()
+        .zip(load_bias.iter())
+        .map(|(l, b)| (l + b).max(0.0))
+        .collect();
+    let net_falsified = net.with_loads(&falsified_loads)?;
+    let fooled = solve_opf(&net_falsified, &x, &opts)?;
+
+    // Realized cost of the fooled dispatch, priced by the honest model.
+    // The dispatch under-/over-serves the true load; the slack bus
+    // balancing energy is priced at the costliest unit (emergency
+    // procurement), which is the standard pessimistic convention.
+    let true_total = net.total_load();
+    let fooled_total: f64 = fooled.dispatch.iter().sum();
+    let deficit = true_total - fooled_total;
+    let max_marginal = net
+        .gens()
+        .iter()
+        .map(|g| g.cost.marginal(g.pmax_mw))
+        .fold(0.0_f64, f64::max);
+    let attacked_cost: f64 = net
+        .gens()
+        .iter()
+        .zip(fooled.dispatch.iter())
+        .map(|(g, &d)| g.cost.eval(d))
+        .sum::<f64>()
+        + deficit.max(0.0) * max_marginal;
+
+    // Physical flows of the fooled dispatch on the TRUE system.
+    let pf = dcpf::solve_dispatch(net, &x, &fooled.dispatch)?;
+    let mut overloads = Vec::new();
+    for (l, br) in net.branches().iter().enumerate() {
+        let ratio = pf.flows[l].abs() / br.flow_limit_mw;
+        if ratio > 1.0 + 1e-9 {
+            overloads.push((l, ratio));
+        }
+    }
+
+    let relative_damage = ((attacked_cost - honest.cost) / honest.cost).max(0.0);
+    Ok(AttackImpact {
+        honest_cost: honest.cost,
+        attacked_cost,
+        relative_damage,
+        overloads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+
+    #[test]
+    fn zero_bias_has_zero_damage() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let impact =
+            load_redistribution_impact(&net, &vec![0.0; net.n_buses()], &cfg).unwrap();
+        assert!(impact.relative_damage < 1e-9);
+        assert!(impact.overloads.is_empty());
+        assert!((impact.honest_cost - impact.attacked_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redistribution_attack_inflates_cost() {
+        // Shift 40 MW of apparent load from the cheap-generation side
+        // (bus 3, large load) to bus 14 (remote): the operator
+        // re-dispatches suboptimally for the true system.
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let mut bias = vec![0.0; net.n_buses()];
+        bias[2] = -40.0;
+        bias[13] = 40.0;
+        let impact = load_redistribution_impact(&net, &bias, &cfg).unwrap();
+        assert!(
+            impact.relative_damage > 0.0,
+            "damage {} should be positive",
+            impact.relative_damage
+        );
+        assert!(impact.attacked_cost > impact.honest_cost);
+    }
+
+    #[test]
+    fn damage_grows_with_attack_magnitude() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let mut prev = 0.0;
+        for mag in [10.0, 25.0, 40.0] {
+            let mut bias = vec![0.0; net.n_buses()];
+            bias[2] = -mag;
+            bias[13] = mag;
+            let impact = load_redistribution_impact(&net, &bias, &cfg).unwrap();
+            assert!(
+                impact.relative_damage >= prev - 1e-9,
+                "damage should grow with magnitude"
+            );
+            prev = impact.relative_damage;
+        }
+    }
+
+    #[test]
+    fn wrong_bias_length_is_error() {
+        let net = cases::case4();
+        let cfg = MtdConfig::fast_test();
+        assert!(load_redistribution_impact(&net, &[0.0; 2], &cfg).is_err());
+    }
+}

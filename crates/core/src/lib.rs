@@ -1,0 +1,63 @@
+//! # gridmtd-core — moving-target defense for power-grid state estimation
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *Cost-Benefit Analysis of Moving-Target Defense in Power Grids*
+//! (Lakshminarayana & Yau, DSN 2018): design criteria for D-FACTS
+//! reactance perturbations that invalidate an FDI attacker's knowledge,
+//! and the framework that trades the defense's effectiveness against its
+//! operational (OPF) cost.
+//!
+//! The pipeline:
+//!
+//! 1. [`spa`] — the subspace-angle design metric `γ(H, H')`;
+//! 2. [`theory`] — executable Proposition 1 / Theorem 1 (undetectability
+//!    and the orthogonality condition);
+//! 3. [`effectiveness`] — the metric `η'(δ)`: fraction of stale stealthy
+//!    attacks whose post-MTD detection probability exceeds δ (closed-form
+//!    noncentral-χ², cross-checked by Monte-Carlo);
+//! 4. [`selection`] — perturbation selection: the random baseline of
+//!    prior work, max-angle search, and the SPA-constrained OPF
+//!    (problem (4)) via multistart Nelder–Mead with exterior penalty;
+//! 5. [`cost`] / [`tradeoff`] — the operational-cost metric and the
+//!    effectiveness-vs-cost sweep (Figs. 6, 9);
+//! 6. [`timeline`] — hourly MTD operation over a daily load trace
+//!    (Figs. 10–11).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gridmtd_core::{effectiveness, MtdConfig};
+//! use gridmtd_powergrid::cases;
+//!
+//! # fn main() -> Result<(), gridmtd_core::MtdError> {
+//! let net = cases::case14();
+//! let cfg = MtdConfig { n_attacks: 100, ..MtdConfig::default() };
+//! let x_pre = net.nominal_reactances();
+//! // A sign-mixed ±40% perturbation of the D-FACTS lines:
+//! let mut x_post = x_pre.clone();
+//! for (k, l) in net.dfacts_branches().into_iter().enumerate() {
+//!     x_post[l] *= if k % 2 == 0 { 1.4 } else { 0.6 };
+//! }
+//! let eval = effectiveness::evaluate_mtd(&net, &x_pre, &x_post, &cfg)?;
+//! println!("γ = {:.3} rad, η'(0.9) = {:.2}", eval.gamma, eval.effectiveness(0.9));
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+pub mod cost;
+pub mod impact;
+pub mod effectiveness;
+mod error;
+pub mod selection;
+pub mod spa;
+pub mod theory;
+pub mod timeline;
+pub mod tradeoff;
+
+pub use config::{MtdConfig, OpfOptionsSerde};
+pub use effectiveness::MtdEvaluation;
+pub use error::MtdError;
+pub use selection::{spread_pre_perturbation, MtdSelection};
+pub use timeline::{HourOutcome, TimelineOptions};
+pub use tradeoff::{RandomTrial, TradeoffCurve, TradeoffPoint};

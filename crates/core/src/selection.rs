@@ -1,0 +1,481 @@
+//! MTD perturbation selection.
+//!
+//! Three strategies, in increasing order of sophistication:
+//!
+//! 1. [`random_perturbation`] — the state-of-the-art baseline of the
+//!    papers the authors compare against ([11–13]): pick random reactance
+//!    perturbations within a small percentage of the current values. The
+//!    paper's Figs. 7–8 show this cannot guarantee effectiveness.
+//! 2. [`max_achievable_gamma`] — maximize the subspace angle
+//!    `γ(H, H')` irrespective of cost, to find the feasible range of
+//!    `γ_th` (used to bound the tradeoff sweep).
+//! 3. [`select_mtd`] — the paper's problem (4): minimize OPF cost
+//!    subject to `γ(H_t, H'(x')) ≥ γ_th` and the DC-OPF constraints,
+//!    solved with multistart Nelder–Mead + adaptive exterior penalty —
+//!    the equivalent of the paper's fmincon/MultiStart.
+
+use gridmtd_opf::{multistart, solve_opf, OpfError, OpfSolution};
+use gridmtd_powergrid::Network;
+use rand::Rng;
+
+use crate::{spa, MtdConfig, MtdError};
+
+/// A selected MTD perturbation with its audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtdSelection {
+    /// Full post-perturbation reactance vector (all branches).
+    pub x_post: Vec<f64>,
+    /// Achieved subspace angle `γ(H_pre, H_post)`.
+    pub gamma: f64,
+    /// Requested threshold `γ_th`.
+    pub gamma_threshold: f64,
+    /// Post-perturbation OPF at `x_post`.
+    pub opf: OpfSolution,
+}
+
+/// The random-perturbation baseline of [11–13]: each D-FACTS line's
+/// reactance is multiplied by `1 + U(−fraction, +fraction)`.
+///
+/// The paper's comparison uses `fraction = 0.02` (perturbations within 2%
+/// of the optimal settings, to keep their cost negligible).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1)` or `x_base` has the wrong
+/// length.
+pub fn random_perturbation<R: Rng + ?Sized>(
+    net: &Network,
+    x_base: &[f64],
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "fraction must be in (0,1), got {fraction}"
+    );
+    assert_eq!(x_base.len(), net.n_branches(), "reactance length mismatch");
+    let mut x = x_base.to_vec();
+    for l in net.dfacts_branches() {
+        x[l] *= 1.0 + rng.gen_range(-fraction..fraction);
+    }
+    x
+}
+
+/// Builds the full reactance vector from a candidate D-FACTS sub-vector.
+fn assemble(
+    x_nominal: &[f64],
+    dfacts: &[usize],
+    candidate: &[f64],
+) -> Vec<f64> {
+    let mut x = x_nominal.to_vec();
+    for (k, &l) in dfacts.iter().enumerate() {
+        x[l] = candidate[k];
+    }
+    x
+}
+
+/// Maximizes `γ(H(x_pre), H(x))` over the D-FACTS box, ignoring cost.
+///
+/// Returns the maximizing reactance vector and the achieved angle — the
+/// feasibility ceiling for any `γ_th` passed to [`select_mtd`].
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn max_achievable_gamma(
+    net: &Network,
+    x_pre: &[f64],
+    cfg: &MtdConfig,
+) -> Result<(Vec<f64>, f64), MtdError> {
+    let h_pre = net.measurement_matrix(x_pre)?;
+    let dfacts = net.dfacts_branches();
+    let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
+    let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
+    let hi: Vec<f64> = dfacts.iter().map(|&l| hi_full[l]).collect();
+    let x_nominal = net.nominal_reactances();
+    let x0: Vec<f64> = dfacts.iter().map(|&l| x_pre[l]).collect();
+
+    let objective = |cand: &[f64]| {
+        let x = assemble(&x_nominal, &dfacts, cand);
+        match net
+            .measurement_matrix(&x)
+            .map_err(MtdError::from)
+            .and_then(|h| spa::gamma(&h_pre, &h))
+        {
+            Ok(g) => -g,
+            Err(_) => f64::INFINITY,
+        }
+    };
+    let result = multistart(
+        objective,
+        &x0,
+        &lo,
+        &hi,
+        cfg.n_starts.max(1),
+        cfg.seed,
+        &cfg.nm_options(),
+    );
+    let x = assemble(&x_nominal, &dfacts, &result.x);
+    Ok((x, -result.f))
+}
+
+/// Solves the SPA-constrained OPF of problem (4):
+///
+/// ```text
+/// min_{g', x'}  Σ Cᵢ(G'ᵢ)
+/// s.t.          γ(H_t, H'(x')) ≥ γ_th
+///               DC-OPF constraints at x'
+///               x' within D-FACTS limits
+/// ```
+///
+/// The inner dispatch problem is an exact LP; the outer nonconvex search
+/// over `x'` uses multistart Nelder–Mead with an adaptive exterior
+/// penalty on the angle constraint.
+///
+/// # Errors
+///
+/// * [`MtdError::ThresholdUnreachable`] if no perturbation within the
+///   D-FACTS limits attains `γ_th` (use [`max_achievable_gamma`] to find
+///   the ceiling).
+/// * [`MtdError::Infeasible`] if the OPF is infeasible for every
+///   candidate.
+pub fn select_mtd(
+    net: &Network,
+    x_pre: &[f64],
+    gamma_th: f64,
+    cfg: &MtdConfig,
+) -> Result<MtdSelection, MtdError> {
+    let h_pre = net.measurement_matrix(x_pre)?;
+    let dfacts = net.dfacts_branches();
+    let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
+    let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
+    let hi: Vec<f64> = dfacts.iter().map(|&l| hi_full[l]).collect();
+    let x_nominal = net.nominal_reactances();
+    let x0: Vec<f64> = dfacts.iter().map(|&l| x_pre[l]).collect();
+    let opf_opts = cfg.opf_options();
+
+    // Cost scale for the penalty weight: the unperturbed OPF cost.
+    let base_cost = match solve_opf(net, x_pre, &opf_opts) {
+        Ok(s) => s.cost,
+        Err(OpfError::Infeasible) => return Err(MtdError::Infeasible),
+        Err(e) => return Err(e.into()),
+    };
+
+    const INFEASIBLE_COST: f64 = 1e15;
+    let mut penalty_weight = 1_000.0 * base_cost.max(1.0);
+    // Tie-breaking regularizer: when the cost surface is flat (no
+    // congestion), prefer the *least* perturbation that meets the
+    // threshold. This keeps the achieved angle tight against γ_th —
+    // matching how the paper reports its sweeps. The reported OPF cost
+    // is evaluated at the selected point without any penalty terms, so
+    // the economics stay exact.
+    let proximity_weight = 0.5 * base_cost.max(1.0);
+    let tol = 1e-3;
+
+    for round in 0..4 {
+        let objective = |cand: &[f64]| {
+            let x = assemble(&x_nominal, &dfacts, cand);
+            let cost = match solve_opf(net, &x, &opf_opts) {
+                Ok(s) => s.cost,
+                Err(_) => return INFEASIBLE_COST,
+            };
+            let g = match net
+                .measurement_matrix(&x)
+                .map_err(MtdError::from)
+                .and_then(|h| spa::gamma(&h_pre, &h))
+            {
+                Ok(g) => g,
+                Err(_) => return INFEASIBLE_COST,
+            };
+            let deficit = (gamma_th - g).max(0.0);
+            let overshoot = (g - gamma_th).max(0.0);
+            cost + penalty_weight * deficit * deficit
+                + proximity_weight * overshoot * overshoot
+        };
+        // A finer initial simplex keeps the warm start (γ = 0) from
+        // leaping far past small thresholds.
+        let nm = gridmtd_opf::NelderMeadOptions {
+            initial_step: 0.12,
+            ..cfg.nm_options()
+        };
+        let result = multistart(
+            objective,
+            &x0,
+            &lo,
+            &hi,
+            cfg.n_starts.max(1),
+            cfg.seed.wrapping_add(round),
+            &nm,
+        );
+        if result.f >= INFEASIBLE_COST {
+            return Err(MtdError::Infeasible);
+        }
+        let x_post = assemble(&x_nominal, &dfacts, &result.x);
+        let h_post = net.measurement_matrix(&x_post)?;
+        let gamma = spa::gamma(&h_pre, &h_post)?;
+        if gamma + tol >= gamma_th {
+            let opf = solve_opf(net, &x_post, &opf_opts)?;
+            return Ok(MtdSelection {
+                x_post,
+                gamma,
+                gamma_threshold: gamma_th,
+                opf,
+            });
+        }
+        penalty_weight *= 25.0;
+    }
+
+    // Threshold appears unreachable; report the ceiling.
+    let (_, ceiling) = max_achievable_gamma(net, x_pre, cfg)?;
+    Err(MtdError::ThresholdUnreachable {
+        requested: gamma_th,
+        achieved: ceiling,
+    })
+}
+
+/// The paper's pre-perturbation baseline: problem (1) optimized over both
+/// dispatch *and* D-FACTS reactances (footnote 1 / Section IV). Returns
+/// the optimal reactance vector and its OPF solution.
+///
+/// With linear costs and light congestion the objective is flat in `x`,
+/// so the search warm-starts from `x_start` and stays there unless
+/// reactance adjustments genuinely reduce cost.
+///
+/// # Errors
+///
+/// Propagates OPF failures.
+pub fn baseline_opf(
+    net: &Network,
+    x_start: &[f64],
+    cfg: &MtdConfig,
+) -> Result<(Vec<f64>, OpfSolution), MtdError> {
+    let dfacts = net.dfacts_branches();
+    let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
+    let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
+    let hi: Vec<f64> = dfacts.iter().map(|&l| hi_full[l]).collect();
+    let x_nominal = net.nominal_reactances();
+    let x0: Vec<f64> = dfacts.iter().map(|&l| x_start[l]).collect();
+    let opf_opts = cfg.opf_options();
+
+    const INFEASIBLE_COST: f64 = 1e15;
+    let objective = |cand: &[f64]| {
+        let x = assemble(&x_nominal, &dfacts, cand);
+        match solve_opf(net, &x, &opf_opts) {
+            Ok(s) => s.cost,
+            Err(_) => INFEASIBLE_COST,
+        }
+    };
+    // Warm-started local search only: a flat objective should not wander.
+    let result = gridmtd_opf::nelder_mead(objective, &x0, &lo, &hi, &cfg.nm_options());
+    if result.f >= INFEASIBLE_COST {
+        return Err(MtdError::Infeasible);
+    }
+    let x = assemble(&x_nominal, &dfacts, &result.x);
+    let opf = solve_opf(net, &x, &opf_opts)?;
+    Ok((x, opf))
+}
+
+/// A pre-perturbation D-FACTS setting at a corner of the reactance box,
+/// chosen so that the *opposite* corner is as far from it (in subspace
+/// angle) as possible.
+///
+/// Rationale: the paper's pre-perturbation reactances come from solving
+/// OPF (1) with `fmincon`/MultiStart over the D-FACTS box. When the cost
+/// is flat in `x` (linear costs, light congestion) any box point is an
+/// optimal solution, and the paper's reported attainable range
+/// (`γ` up to ≈ 0.45 rad on IEEE-14) is only reachable when `x_t` itself
+/// sits away from the box centre. This helper deterministically picks
+/// such a point so experiments can reproduce the full range; from the
+/// nominal (centre) point the ceiling is ≈ 0.26 rad.
+///
+/// For more than 12 D-FACTS lines the corner search is sampled instead
+/// of exhaustive.
+///
+/// # Panics
+///
+/// Panics if `eta_max` is not in `(0, 1)`.
+pub fn spread_pre_perturbation(net: &Network, eta_max: f64) -> Vec<f64> {
+    assert!(
+        eta_max > 0.0 && eta_max < 1.0,
+        "eta_max must be in (0,1), got {eta_max}"
+    );
+    let dfacts = net.dfacts_branches();
+    let x_nominal = net.nominal_reactances();
+    let k = dfacts.len();
+    if k == 0 {
+        return x_nominal;
+    }
+    let corner = |pattern: u64| -> Vec<f64> {
+        let mut x = x_nominal.clone();
+        for (bit, &l) in dfacts.iter().enumerate() {
+            let up = pattern >> bit & 1 == 1;
+            x[l] *= if up { 1.0 + eta_max } else { 1.0 - eta_max };
+        }
+        x
+    };
+    let patterns: Vec<u64> = if k <= 12 {
+        (0..(1u64 << k)).collect()
+    } else {
+        // Deterministic low-discrepancy sample of corners.
+        (0..4096u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect()
+    };
+    let mask = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+    let mut best_pattern = 0u64;
+    let mut best_gamma = -1.0;
+    for &p in &patterns {
+        let p = p & mask;
+        let h_a = match net.measurement_matrix(&corner(p)) {
+            Ok(h) => h,
+            Err(_) => continue,
+        };
+        let h_b = match net.measurement_matrix(&corner(!p & mask)) {
+            Ok(h) => h,
+            Err(_) => continue,
+        };
+        if let Ok(g) = spa::gamma(&h_a, &h_b) {
+            if g > best_gamma {
+                best_gamma = g;
+                best_pattern = p;
+            }
+        }
+    }
+    corner(best_pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_perturbation_touches_only_dfacts_lines() {
+        let net = cases::case14();
+        let x0 = net.nominal_reactances();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = random_perturbation(&net, &x0, 0.02, &mut rng);
+        let dfacts = net.dfacts_branches();
+        for l in 0..net.n_branches() {
+            if dfacts.contains(&l) {
+                assert!((x[l] / x0[l] - 1.0).abs() <= 0.02 + 1e-12);
+            } else {
+                assert_eq!(x[l], x0[l]);
+            }
+        }
+    }
+
+    #[test]
+    fn max_gamma_is_substantial_for_case14() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let (x, g) = max_achievable_gamma(&net, &x0, &cfg).unwrap();
+        // From the nominal point the box-corner ceiling is ≈ 0.259 rad;
+        // the paper's full [0, 0.45] range arises when the
+        // pre-perturbation reactances themselves sit inside the D-FACTS
+        // box (see `pair_of_box_points_reaches_the_papers_range`).
+        assert!(g > 0.2, "max gamma {g}");
+        // Bounds respected.
+        let (lo, hi) = net.reactance_bounds(cfg.eta_max);
+        for l in 0..net.n_branches() {
+            assert!(x[l] >= lo[l] - 1e-12 && x[l] <= hi[l] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn select_mtd_meets_threshold_with_bounded_cost() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let sel = select_mtd(&net, &x0, 0.15, &cfg).unwrap();
+        assert!(sel.gamma >= 0.15 - 1e-3, "gamma {}", sel.gamma);
+        assert_eq!(sel.gamma_threshold, 0.15);
+        // Cost can only grow relative to the γ_th = 0 relaxation solved
+        // by the same optimizer (a fixed-reactance or locally-optimized
+        // baseline may converge to a different basin, so those are not
+        // valid lower bounds).
+        // Both runs are heuristic multistart searches, so allow a small
+        // basin-to-basin tolerance.
+        let relaxed = select_mtd(&net, &x0, 0.0, &cfg).unwrap();
+        assert!(
+            sel.opf.cost >= relaxed.opf.cost * 0.99 - 1e-6,
+            "{} vs {}",
+            sel.opf.cost,
+            relaxed.opf.cost
+        );
+    }
+
+    #[test]
+    fn pair_of_box_points_reaches_the_papers_range() {
+        // With the pre-perturbation reactances themselves at a D-FACTS
+        // box point (a legitimate solution of the cost-flat OPF (1)),
+        // the attainable angle matches the paper's ≈ 0.45 rad ceiling.
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x_pre = spread_pre_perturbation(&net, cfg.eta_max);
+        let (_, g) = max_achievable_gamma(&net, &x_pre, &cfg).unwrap();
+        assert!(g > 0.4, "corner-based ceiling {g}");
+    }
+
+    #[test]
+    fn zero_threshold_recovers_unconstrained_cost() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let sel = select_mtd(&net, &x0, 0.0, &cfg).unwrap();
+        let base = gridmtd_opf::solve_opf(&net, &x0, &cfg.opf_options())
+            .unwrap()
+            .cost;
+        assert!(
+            sel.opf.cost <= base * 1.001 + 1e-6,
+            "unconstrained selection should not cost more: {} vs {base}",
+            sel.opf.cost
+        );
+        assert!(sel.gamma >= 0.0);
+    }
+
+    #[test]
+    fn unreachable_threshold_is_reported() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let err = select_mtd(&net, &x0, 1.5, &cfg).unwrap_err();
+        match err {
+            MtdError::ThresholdUnreachable {
+                requested,
+                achieved,
+            } => {
+                assert_eq!(requested, 1.5);
+                assert!(achieved < 1.5);
+            }
+            other => panic!("expected ThresholdUnreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baseline_opf_stays_at_warm_start_when_flat() {
+        // Lightly-loaded case14: cost is flat in x → baseline keeps x0.
+        let net = cases::case14().scale_loads(0.6);
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let (x, opf) = baseline_opf(&net, &x0, &cfg).unwrap();
+        let direct = gridmtd_opf::solve_opf(&net, &x0, &cfg.opf_options()).unwrap();
+        assert!((opf.cost - direct.cost).abs() < 1e-6);
+        // x stays close to the warm start in flat regions.
+        for l in 0..net.n_branches() {
+            assert!((x[l] - x0[l]).abs() < 0.35 * x0[l] + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0,1)")]
+    fn random_perturbation_validates_fraction() {
+        let net = cases::case4();
+        let x0 = net.nominal_reactances();
+        let mut rng = StdRng::seed_from_u64(0);
+        random_perturbation(&net, &x0, 0.0, &mut rng);
+    }
+}

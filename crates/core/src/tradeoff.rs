@@ -1,0 +1,243 @@
+//! The effectiveness-vs-cost tradeoff sweep (Figs. 6 and 9).
+//!
+//! For each threshold `γ_th` in a grid, solve the SPA-constrained OPF
+//! (problem (4)), score the selected perturbation against a fixed attack
+//! ensemble, and record the operational-cost increase. Different `γ_th`
+//! values trace out the spectrum between "free but ineffective" and
+//! "effective but costly" (Section VI).
+
+use gridmtd_attack::FdiAttack;
+use gridmtd_powergrid::Network;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    cost, effectiveness, selection, spa, MtdConfig, MtdError,
+};
+
+/// One point of the tradeoff curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Requested subspace-angle threshold, radians.
+    pub gamma_threshold: f64,
+    /// Achieved angle of the selected perturbation.
+    pub gamma_achieved: f64,
+    /// MTD operational cost, percent over the no-MTD OPF cost.
+    pub cost_increase_percent: f64,
+    /// `(δ, η'(δ))` pairs for the requested δ grid.
+    pub effectiveness: Vec<(f64, f64)>,
+}
+
+impl TradeoffPoint {
+    /// Looks up `η'(δ)` for one of the swept δ values.
+    pub fn eta(&self, delta: f64) -> Option<f64> {
+        self.effectiveness
+            .iter()
+            .find(|(d, _)| (d - delta).abs() < 1e-12)
+            .map(|&(_, e)| e)
+    }
+}
+
+/// Result of a full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffCurve {
+    /// Points for every reachable threshold, in sweep order.
+    pub points: Vec<TradeoffPoint>,
+    /// Ceiling `γ_max` within the D-FACTS limits (thresholds above this
+    /// were skipped).
+    pub gamma_ceiling: f64,
+    /// No-MTD baseline OPF cost, $/h.
+    pub baseline_cost: f64,
+}
+
+/// Sweeps the tradeoff curve for a network at its current loads.
+///
+/// `x_pre` is the pre-perturbation reactance vector (the attacker's
+/// knowledge); the attack ensemble is generated once from it and reused
+/// across thresholds so points are directly comparable.
+///
+/// # Errors
+///
+/// Propagates selection/OPF failures. Thresholds above the achievable
+/// ceiling are skipped, not errors.
+pub fn tradeoff_sweep(
+    net: &Network,
+    x_pre: &[f64],
+    gamma_thresholds: &[f64],
+    deltas: &[f64],
+    cfg: &MtdConfig,
+) -> Result<TradeoffCurve, MtdError> {
+    let opf_pre = gridmtd_opf::solve_opf(net, x_pre, &cfg.opf_options())?;
+    let attacks = effectiveness::build_attack_set(net, x_pre, &opf_pre.dispatch, cfg)?;
+    let (_, gamma_ceiling) = selection::max_achievable_gamma(net, x_pre, cfg)?;
+    // Baseline: the cost the operator would pay at this hour without MTD
+    // (problem (1), reactances free within D-FACTS limits).
+    let (_, baseline) = selection::baseline_opf(net, x_pre, cfg)?;
+
+    let mut points = Vec::with_capacity(gamma_thresholds.len());
+    for &gamma_th in gamma_thresholds {
+        if gamma_th > gamma_ceiling + 1e-3 {
+            continue;
+        }
+        let sel = match selection::select_mtd(net, x_pre, gamma_th, cfg) {
+            Ok(s) => s,
+            Err(MtdError::ThresholdUnreachable { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        let eval =
+            effectiveness::evaluate_with_attacks(net, x_pre, &sel.x_post, &attacks, cfg)?;
+        let effectiveness_grid: Vec<(f64, f64)> = deltas
+            .iter()
+            .map(|&d| (d, eval.effectiveness(d)))
+            .collect();
+        points.push(TradeoffPoint {
+            gamma_threshold: gamma_th,
+            gamma_achieved: sel.gamma,
+            cost_increase_percent: cost::cost_increase_percent(baseline.cost, sel.opf.cost),
+            effectiveness: effectiveness_grid,
+        });
+    }
+    Ok(TradeoffCurve {
+        points,
+        gamma_ceiling,
+        baseline_cost: baseline.cost,
+    })
+}
+
+/// Scores `n_trials` random baseline perturbations (the keyspace of
+/// [11–12]) against the same ensemble, returning each trial's `η'(δ)`
+/// curve — the data behind Figs. 7 and 8.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn random_keyspace_study(
+    net: &Network,
+    x_pre: &[f64],
+    attacks: &[FdiAttack],
+    fraction: f64,
+    n_trials: usize,
+    deltas: &[f64],
+    cfg: &MtdConfig,
+) -> Result<Vec<RandomTrial>, MtdError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xfeed));
+    let h_pre = net.measurement_matrix(x_pre)?;
+    let mut out = Vec::with_capacity(n_trials);
+    for trial in 0..n_trials {
+        let x_post = selection::random_perturbation(net, x_pre, fraction, &mut rng);
+        let h_post = net.measurement_matrix(&x_post)?;
+        let bdd = effectiveness::post_mtd_detector(net, &x_post, cfg)?;
+        let probs = gridmtd_attack::detection_probabilities(&bdd, attacks)?;
+        let eval = effectiveness::MtdEvaluation {
+            gamma: spa::gamma(&h_pre, &h_post)?,
+            smallest_angle: spa::smallest_angle(&h_pre, &h_post)?,
+            detection_probs: probs,
+        };
+        let eta: Vec<(f64, f64)> = deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
+        out.push(RandomTrial {
+            trial,
+            gamma: eval.gamma,
+            effectiveness: eta,
+        });
+    }
+    Ok(out)
+}
+
+/// One random-keyspace trial (Figs. 7–8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomTrial {
+    /// Trial index.
+    pub trial: usize,
+    /// Subspace angle achieved by the random perturbation.
+    pub gamma: f64,
+    /// `(δ, η'(δ))` pairs.
+    pub effectiveness: Vec<(f64, f64)>,
+}
+
+impl RandomTrial {
+    /// Looks up `η'(δ)`.
+    pub fn eta(&self, delta: f64) -> Option<f64> {
+        self.effectiveness
+            .iter()
+            .find(|(d, _)| (d - delta).abs() < 1e-12)
+            .map(|&(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+
+    #[test]
+    fn sweep_produces_increasing_gamma_and_cost_trend() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let curve =
+            tradeoff_sweep(&net, &x0, &[0.05, 0.15, 0.22], &[0.5, 0.9], &cfg).unwrap();
+        assert!(curve.points.len() >= 2, "{:?}", curve.points.len());
+        // Ceiling from the nominal point is ≈ 0.259 rad (see selection
+        // tests for the paper's larger corner-to-corner range).
+        assert!(curve.gamma_ceiling > 0.2);
+        assert!(curve.baseline_cost > 0.0);
+        for p in &curve.points {
+            assert!(p.gamma_achieved + 1e-3 >= p.gamma_threshold);
+            assert!(p.cost_increase_percent >= 0.0);
+            let e05 = p.eta(0.5).unwrap();
+            let e09 = p.eta(0.9).unwrap();
+            assert!(e09 <= e05 + 1e-12, "η monotone in δ");
+        }
+        // Effectiveness at the largest threshold beats the smallest.
+        let first = curve.points.first().unwrap().eta(0.5).unwrap();
+        let last = curve.points.last().unwrap().eta(0.5).unwrap();
+        assert!(last >= first, "η should rise along the sweep: {first}->{last}");
+    }
+
+    #[test]
+    fn unreachable_thresholds_are_skipped() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let x0 = net.nominal_reactances();
+        let curve = tradeoff_sweep(&net, &x0, &[0.1, 1.4], &[0.5], &cfg).unwrap();
+        assert_eq!(curve.points.len(), 1);
+        assert_eq!(curve.points[0].gamma_threshold, 0.1);
+    }
+
+    #[test]
+    fn random_keyspace_trials_have_high_variability() {
+        let net = cases::case14();
+        let mut cfg = MtdConfig::fast_test();
+        cfg.n_attacks = 120;
+        let x0 = net.nominal_reactances();
+        let opf = gridmtd_opf::solve_opf(&net, &x0, &cfg.opf_options()).unwrap();
+        let attacks =
+            effectiveness::build_attack_set(&net, &x0, &opf.dispatch, &cfg).unwrap();
+        let trials =
+            random_keyspace_study(&net, &x0, &attacks, 0.02, 20, &[0.5, 0.9], &cfg).unwrap();
+        assert_eq!(trials.len(), 20);
+        // 2% random perturbations achieve tiny angles...
+        for t in &trials {
+            assert!(t.gamma < 0.05, "gamma {}", t.gamma);
+        }
+        // ...and (per the paper's Fig. 8) almost none achieve η'(0.9)≥0.9.
+        let good = trials
+            .iter()
+            .filter(|t| t.eta(0.9).unwrap() >= 0.9)
+            .count();
+        assert!(good <= 2, "random keyspace should rarely be effective");
+    }
+
+    #[test]
+    fn tradeoff_point_eta_lookup() {
+        let p = TradeoffPoint {
+            gamma_threshold: 0.1,
+            gamma_achieved: 0.12,
+            cost_increase_percent: 1.0,
+            effectiveness: vec![(0.5, 0.8), (0.9, 0.4)],
+        };
+        assert_eq!(p.eta(0.9), Some(0.4));
+        assert_eq!(p.eta(0.7), None);
+    }
+}

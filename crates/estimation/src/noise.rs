@@ -1,0 +1,137 @@
+//! Sensor noise model.
+
+use rand::Rng;
+
+use gridmtd_stats::normal;
+
+/// Per-measurement Gaussian noise standard deviations.
+///
+/// The paper assumes i.i.d. Gaussian measurement noise; the homoscedastic
+/// [`NoiseModel::uniform`] constructor is what the experiments use, but the
+/// estimator supports general diagonal covariances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    sigmas: Vec<f64>,
+}
+
+impl NoiseModel {
+    /// Same standard deviation `sigma` (MW) for all `m` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn uniform(m: usize, sigma: f64) -> NoiseModel {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        NoiseModel {
+            sigmas: vec![sigma; m],
+        }
+    }
+
+    /// Per-measurement standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is non-positive.
+    pub fn from_sigmas(sigmas: Vec<f64>) -> NoiseModel {
+        assert!(
+            sigmas.iter().all(|&s| s > 0.0),
+            "all sigmas must be positive"
+        );
+        NoiseModel { sigmas }
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.sigmas.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigmas.is_empty()
+    }
+
+    /// Standard deviations.
+    pub fn sigmas(&self) -> &[f64] {
+        &self.sigmas
+    }
+
+    /// WLS weights `wᵢ = 1/σᵢ²`.
+    pub fn weights(&self) -> Vec<f64> {
+        self.sigmas.iter().map(|s| 1.0 / (s * s)).collect()
+    }
+
+    /// Draws one noise vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.sigmas
+            .iter()
+            .map(|&s| s * normal::sample_standard(rng))
+            .collect()
+    }
+
+    /// Returns `z_true + noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z_true.len() != self.len()`.
+    pub fn corrupt<R: Rng + ?Sized>(&self, z_true: &[f64], rng: &mut R) -> Vec<f64> {
+        assert_eq!(z_true.len(), self.len(), "measurement length mismatch");
+        z_true
+            .iter()
+            .zip(self.sigmas.iter())
+            .map(|(&z, &s)| z + s * normal::sample_standard(rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_are_inverse_variance() {
+        let n = NoiseModel::uniform(3, 2.0);
+        assert_eq!(n.weights(), vec![0.25, 0.25, 0.25]);
+        assert_eq!(n.len(), 3);
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn corrupt_preserves_mean() {
+        let n = NoiseModel::uniform(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = vec![10.0; 1000];
+        let zc = n.corrupt(&z, &mut rng);
+        let mean: f64 = zc.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 10.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn heteroscedastic_sigmas_apply_per_entry() {
+        let n = NoiseModel::from_sigmas(vec![0.1, 10.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut spread0 = 0.0;
+        let mut spread1 = 0.0;
+        for _ in 0..2000 {
+            let e = n.sample(&mut rng);
+            spread0 += e[0] * e[0];
+            spread1 += e[1] * e[1];
+        }
+        assert!(spread1 / spread0 > 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sigma_rejected() {
+        NoiseModel::uniform(2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn corrupt_checks_length() {
+        let n = NoiseModel::uniform(2, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        n.corrupt(&[1.0], &mut rng);
+    }
+}

@@ -1,0 +1,221 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// The weighted-least-squares state estimator solves the normal equations
+/// `(HᵀWH) θ̂ = HᵀWz`; the Gram matrix `HᵀWH` is SPD for a full-column-rank
+/// `H`, making Cholesky the natural (and fastest) solver.
+///
+/// # Example
+///
+/// ```
+/// use gridmtd_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), gridmtd_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::factor(&a)?;
+/// let x = chol.solve(&[8.0, 7.0])?;
+/// assert!((x[0] - 1.25).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper triangle is garbage and never read).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (the Gram matrices built in this workspace
+    /// are symmetric by construction).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal pivot is not
+    ///   strictly positive (relative to the matrix scale).
+    pub fn factor(a: &Matrix) -> Result<Cholesky, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let scale = a.max_abs().max(1.0);
+        let tol = 1e-13 * scale;
+        let mut l = a.clone();
+        for j in 0..n {
+            let mut d = l[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut v = l[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Lower-triangular factor `L` (upper triangle zeroed).
+    pub fn l(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| if j <= i { self.l[(i, j)] } else { 0.0 })
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        // L y = b
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        let l = c.l();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_agrees_with_lu() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
+            .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x_chol = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        assert!(vector::approx_eq(&x_chol, &x_lu, 1e-10));
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn semidefinite_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]).unwrap();
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let c = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert!(c.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Dense linear algebra substrate for the `gridmtd` workspace.
+//!
+//! The moving-target-defense analysis of Lakshminarayana & Yau (DSN 2018)
+//! relies on a small but non-trivial set of numerical kernels:
+//!
+//! * weighted least squares for state estimation (normal equations via
+//!   [`Cholesky`], or QR for better conditioning),
+//! * residual projectors `I − H(HᵀWH)⁻¹HᵀW`,
+//! * column-space geometry: orthonormal bases ([`Qr`]), ranks and
+//!   **principal angles between subspaces** ([`subspace::principal_angles`],
+//!   [`subspace::smallest_principal_angle`]) computed with the
+//!   Björck–Golub SVD method,
+//! * a singular value decomposition ([`Svd`], one-sided Jacobi).
+//!
+//! Everything is implemented from scratch on a dense row-major [`Matrix`]
+//! type; the grids in this workspace (4–200 buses) produce matrices of at
+//! most a few hundred rows, for which dense kernels are both simpler and
+//! faster than sparse ones.
+//!
+//! # Example
+//!
+//! ```
+//! use gridmtd_linalg::{Matrix, subspace};
+//!
+//! # fn main() -> Result<(), gridmtd_linalg::LinalgError> {
+//! let h = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]])?;
+//! let h2 = Matrix::from_rows(&[&[1.0], &[1.0], &[0.0]])?;
+//! let gamma = subspace::smallest_principal_angle(&h, &h2)?;
+//! assert!((gamma - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cholesky;
+mod error;
+mod matrix;
+
+pub mod lu;
+pub mod qr;
+pub mod subspace;
+pub mod svd;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use svd::Svd;
+
+/// Relative tolerance used for rank decisions throughout the crate.
+///
+/// A singular value `s` is treated as zero when `s <= RANK_TOL * s_max`.
+pub const RANK_TOL: f64 = 1e-10;

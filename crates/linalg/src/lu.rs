@@ -1,0 +1,276 @@
+use crate::{LinalgError, Matrix};
+
+/// LU factorization with partial (row) pivoting: `P A = L U`.
+///
+/// Used for solving the DC power-flow equations `B̃ θ = p̃` and for general
+/// square solves. The factorization is computed once and can then solve any
+/// number of right-hand sides.
+///
+/// # Example
+///
+/// ```
+/// use gridmtd_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), gridmtd_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[10.0, 12.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of A.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    perm_sign: f64,
+}
+
+/// Pivot tolerance: a pivot with absolute value below this is treated as
+/// zero, i.e. the matrix is reported singular.
+const PIVOT_TOL: f64 = 1e-13;
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot underflows the tolerance
+    ///   (relative to the largest entry of `a`).
+    pub fn factor(a: &Matrix) -> Result<Lu, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_factor",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // find pivot row
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best <= PIVOT_TOL * scale {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                perm.swap(p, k);
+                perm_sign = -perm_sign;
+                // swap rows p and k in-place
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = lu[(k, j)];
+                        lu[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // apply permutation
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        // forward substitution (unit lower triangular)
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix of matching dimension).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+}
+
+/// Convenience wrapper: factors `a` and solves `a x = b` in one call.
+///
+/// # Errors
+///
+/// See [`Lu::factor`] and [`Lu::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Lu::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
+            .unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let x = solve(&a, &b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!(vector::approx_eq(&back, &b, 1e-10));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!(vector::approx_eq(&x, &[3.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(Lu::factor(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_triangular_matrix() {
+        let a = Matrix::from_rows(&[&[2.0, 5.0], &[0.0, 3.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_tracks_permutation_sign() {
+        // swap of identity rows has determinant -1
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 6.0], &[2.0, 4.0]]).unwrap();
+        let x = Lu::factor(&a).unwrap().solve_matrix(&b).unwrap();
+        assert!(x.approx_eq(
+            &Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,783 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use crate::LinalgError;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// This is the workhorse type of the workspace: measurement matrices,
+/// susceptance matrices, projectors and orthonormal bases are all `Matrix`
+/// values. The type deliberately keeps a small, predictable API surface —
+/// explicit constructors, checked (`try_*`/`Result`) structural operations
+/// and panicking indexed access — following the conventions of the Rust API
+/// guidelines.
+///
+/// # Example
+///
+/// ```
+/// use gridmtd_linalg::Matrix;
+///
+/// # fn main() -> Result<(), gridmtd_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Matrix {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for an empty row list and
+    /// [`LinalgError::ShapeMismatch`] if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Matrix, LinalgError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (nrows, ncols),
+                    rhs: (1, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (1, data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a single-column matrix from a vector.
+    pub fn column(v: &[f64]) -> Matrix {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams through `rhs` rows, cache friendly for
+        // row-major storage.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != v.len()`.
+    pub fn matvec_transposed(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_transposed",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row.iter()) {
+                *o += vi * a;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram product `selfᵀ * self` (always square, symmetric PSD).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = &self.data[r * n..(r + 1) * n];
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g.data[i * n + j] += ri * row[j];
+                }
+            }
+        }
+        // mirror the upper triangle
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.data[j * n + i] = g.data[i * n + j];
+            }
+        }
+        g
+    }
+
+    /// Elementwise scaling by a scalar.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// Checked elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn try_add(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// Checked elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn try_sub(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        })
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Horizontal concatenation `[self other]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Returns a copy with column `j` removed.
+    ///
+    /// Used to drop the slack-bus column from incidence/measurement
+    /// matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn without_col(&self, j: usize) -> Matrix {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        let mut data = Vec::with_capacity(self.rows * (self.cols - 1));
+        for i in 0..self.rows {
+            let row = self.row(i);
+            data.extend_from_slice(&row[..j]);
+            data.extend_from_slice(&row[j + 1..]);
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols - 1,
+            data,
+        }
+    }
+
+    /// Returns a copy with row `i` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn without_row(&self, i: usize) -> Matrix {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let mut data = Vec::with_capacity((self.rows - 1) * self.cols);
+        data.extend_from_slice(&self.data[..i * self.cols]);
+        data.extend_from_slice(&self.data[(i + 1) * self.cols..]);
+        Matrix {
+            rows: self.rows - 1,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Extracts the contiguous submatrix with rows `r0..r1` and columns
+    /// `c0..c1` (half-open ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are out of bounds or inverted.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
+        assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
+        let mut data = Vec::with_capacity((r1 - r0) * (c1 - c0));
+        for i in r0..r1 {
+            data.extend_from_slice(&self.row(i)[c0..c1]);
+        }
+        Matrix {
+            rows: r1 - r0,
+            cols: c1 - c0,
+            data,
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry (∞-norm of the vectorized matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Returns `true` when every entry of `self` is within `tol` of the
+    /// corresponding entry of `other` (and shapes match).
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` when the matrix is symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Consumes the matrix, returning the underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes differ; use [`Matrix::try_add`] for a checked
+    /// version.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.try_add(rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if shapes differ; use [`Matrix::try_sub`] for a checked
+    /// version.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.try_sub(rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if inner dimensions differ; use [`Matrix::matmul`] for a
+    /// checked version.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matrix product shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(10) {
+                write!(f, "{:10.4}", self.data[i * self.cols + j])?;
+                if j + 1 < self.cols.min(10) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 10 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_shape_and_content() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal_ones() {
+        let m = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty_input() {
+        assert_eq!(Matrix::from_rows(&[]).unwrap_err(), LinalgError::Empty);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_is_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transposed_agree_with_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 1.0]]).unwrap();
+        let v = [2.0, 1.0, -1.0];
+        let got = a.matvec(&v).unwrap();
+        assert_eq!(got, vec![1.0 * 2.0 - 2.0 - 0.5, 3.0 - 1.0]);
+
+        let w = [1.0, -1.0];
+        let got_t = a.matvec_transposed(&w).unwrap();
+        assert_eq!(got_t, vec![1.0, -5.0, -0.5]);
+    }
+
+    #[test]
+    fn gram_is_transpose_times_self() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a).unwrap();
+        assert!(g.approx_eq(&expected, 1e-12));
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v[(1, 0)], 3.0);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (1, 4));
+        assert_eq!(h[(0, 3)], 4.0);
+    }
+
+    #[test]
+    fn without_col_drops_the_right_column() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let d = m.without_col(1);
+        assert_eq!(d.shape(), (2, 2));
+        assert_eq!(d.row(0), &[1.0, 3.0]);
+        assert_eq!(d.row(1), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn without_row_drops_the_right_row() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let d = m.without_row(0);
+        assert_eq!(d.shape(), (2, 2));
+        assert_eq!(d.row(0), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        assert_eq!(s.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_known_matrix() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operators_add_sub_mul_neg() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::identity(2);
+        assert_eq!((&a + &b)[(0, 0)], 2.0);
+        assert_eq!((&a - &b)[(1, 1)], 3.0);
+        assert_eq!((&a * &b), a);
+        assert_eq!((&a * 2.0)[(1, 0)], 6.0);
+        assert_eq!((-&a)[(0, 1)], -2.0);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let s = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        let ns = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]).unwrap();
+        assert!(!ns.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let m = Matrix::identity(2);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 2x2"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Column-space geometry: orthonormal bases, projectors and principal
+//! angles between subspaces.
+//!
+//! The MTD design criterion of the paper (Section V-C) is the **smallest
+//! principal angle** `γ(H, H')` between the column spaces of the
+//! pre-perturbation and post-perturbation measurement matrices. Angles are
+//! computed with the Björck–Golub method: if `Q₁`, `Q₂` are orthonormal
+//! bases of the two subspaces, the cosines of the principal angles are the
+//! singular values of `Q₁ᵀQ₂`.
+//!
+//! Definition V.1 of the paper defines the *smallest* principal angle as
+//! the one maximizing `|uᵀv|`, i.e. `cos γ = σ_max(Q₁ᵀQ₂)`, so
+//! `γ ∈ [0, π/2]` with `γ = 0` for intersecting subspaces and `γ = π/2`
+//! for orthogonal ones.
+
+use crate::{qr, LinalgError, Matrix, Svd};
+
+/// All principal angles (radians, non-decreasing) between `Col(a)` and
+/// `Col(b)`.
+///
+/// Both inputs must be tall full-column-rank matrices with the same number
+/// of rows; the number of angles returned is `min(a.cols(), b.cols())`.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if the row counts differ.
+/// * Propagates QR/SVD failures for degenerate inputs.
+pub fn principal_angles(a: &Matrix, b: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "principal_angles",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let q1 = qr::orthonormal_basis(a)?;
+    let q2 = qr::orthonormal_basis(b)?;
+    let m = q1.transpose().matmul(&q2)?;
+    // SVD needs rows >= cols.
+    let tall = if m.rows() >= m.cols() { m } else { m.transpose() };
+    let svd = Svd::compute(&tall)?;
+    // Clamp to [0, 1]: roundoff can push cosines slightly above 1.
+    let mut angles: Vec<f64> = svd
+        .singular_values()
+        .iter()
+        .map(|&c| c.clamp(0.0, 1.0).acos())
+        .collect();
+    // Singular values are sorted descending => angles ascending already,
+    // but make the contract explicit.
+    angles.sort_by(|x, y| x.partial_cmp(y).expect("NaN angle"));
+    Ok(angles)
+}
+
+/// The smallest principal angle `γ(a, b) ∈ [0, π/2]` (Definition V.1).
+///
+/// `γ = 0` when the subspaces intersect nontrivially; `γ = π/2` when they
+/// are mutually orthogonal.
+///
+/// # Errors
+///
+/// See [`principal_angles`].
+pub fn smallest_principal_angle(a: &Matrix, b: &Matrix) -> Result<f64, LinalgError> {
+    Ok(principal_angles(a, b)?[0])
+}
+
+/// The largest principal angle between the two column spaces.
+///
+/// # Errors
+///
+/// See [`principal_angles`].
+pub fn largest_principal_angle(a: &Matrix, b: &Matrix) -> Result<f64, LinalgError> {
+    Ok(*principal_angles(a, b)?
+        .last()
+        .expect("at least one angle for non-empty inputs"))
+}
+
+/// Orthogonal projector `P = Q Qᵀ` onto `Col(a)`.
+///
+/// # Errors
+///
+/// See [`qr::orthonormal_basis`].
+pub fn projector(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let q = qr::orthonormal_basis(a)?;
+    q.matmul(&q.transpose())
+}
+
+/// Orthogonal projector `I − Q Qᵀ` onto the orthogonal complement of
+/// `Col(a)`.
+///
+/// This is the residual operator of an (unweighted) least-squares fit: the
+/// BDD residual under measurement matrix `H` is `‖(I − P_H) z‖`.
+///
+/// # Errors
+///
+/// See [`projector`].
+pub fn complement_projector(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let p = projector(a)?;
+    Ok(&Matrix::identity(p.rows()) - &p)
+}
+
+/// Weighted oblique residual projector `S = I − H (HᵀWH)⁻¹ HᵀW` for a
+/// diagonal weight vector `w` (entries of `W`).
+///
+/// This is exactly the operator of Appendix A of the paper: the BDD
+/// residual under attack is `r' = S(n + a)`. `S` is idempotent
+/// (`S² = S`) and annihilates `Col(H)`.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `w.len() != h.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if `H` is column-rank deficient.
+pub fn weighted_residual_projector(h: &Matrix, w: &[f64]) -> Result<Matrix, LinalgError> {
+    let (m, _n) = h.shape();
+    if w.len() != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "weighted_residual_projector",
+            lhs: h.shape(),
+            rhs: (w.len(), 1),
+        });
+    }
+    // WH: scale rows of H by w.
+    let mut wh = h.clone();
+    for i in 0..m {
+        let wi = w[i];
+        for v in wh.row_mut(i) {
+            *v *= wi;
+        }
+    }
+    // G = HᵀWH (SPD for full-column-rank H).
+    let g = h.transpose().matmul(&wh)?;
+    let ginv = crate::Cholesky::factor(&g)?.inverse()?;
+    // K = H G⁻¹ HᵀW  (the hat matrix).
+    let hginv = h.matmul(&ginv)?;
+    let hat = hginv.matmul(&wh.transpose())?;
+    Ok(&Matrix::identity(m) - &hat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identical_subspaces_have_zero_angle() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let gamma = smallest_principal_angle(&a, &a.scale(2.5)).unwrap();
+        assert!(gamma.abs() < 1e-7, "gamma = {gamma}");
+    }
+
+    #[test]
+    fn orthogonal_subspaces_have_right_angle() {
+        let a = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0], &[0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let gamma = smallest_principal_angle(&a, &b).unwrap();
+        assert!((gamma - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_angle_between_planes() {
+        // Col(a) = span{e1}; Col(b) = span{cos t e1 + sin t e2}.
+        let t = 0.3_f64;
+        let a = Matrix::from_rows(&[&[1.0], &[0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[t.cos()], &[t.sin()]]).unwrap();
+        let gamma = smallest_principal_angle(&a, &b).unwrap();
+        assert!((gamma - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_direction_gives_zero_smallest_angle() {
+        // Both subspaces contain e1, so the smallest angle is 0 even though
+        // the other directions differ.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        ])
+        .unwrap();
+        let b = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 0.0],
+        ])
+        .unwrap();
+        let angles = principal_angles(&a, &b).unwrap();
+        assert!(angles[0].abs() < 1e-7);
+        assert!((angles[1] - FRAC_PI_2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn angles_are_symmetric_in_arguments() {
+        let a = Matrix::from_rows(&[&[1.0, 0.3], &[0.2, 1.0], &[0.5, -0.4], &[0.0, 0.8]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.9, -0.1], &[0.1, 0.7], &[0.3, 0.3], &[-0.2, 0.5]]).unwrap();
+        let g_ab = smallest_principal_angle(&a, &b).unwrap();
+        let g_ba = smallest_principal_angle(&b, &a).unwrap();
+        assert!((g_ab - g_ba).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mismatched_rows_is_error() {
+        let a = Matrix::zeros(3, 1);
+        let b = Matrix::zeros(4, 1);
+        assert!(principal_angles(&a, &b).is_err());
+    }
+
+    #[test]
+    fn projector_is_idempotent_and_fixes_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[1.0, 0.0], &[2.0, 1.0]]).unwrap();
+        let p = projector(&a).unwrap();
+        assert!(p.matmul(&p).unwrap().approx_eq(&p, 1e-10));
+        for j in 0..a.cols() {
+            let col = a.col(j);
+            let proj = p.matvec(&col).unwrap();
+            assert!(vector::approx_eq(&proj, &col, 1e-10));
+        }
+    }
+
+    #[test]
+    fn complement_projector_annihilates_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 2.0]]).unwrap();
+        let pc = complement_projector(&a).unwrap();
+        for j in 0..a.cols() {
+            let r = pc.matvec(&a.col(j)).unwrap();
+            assert!(vector::norm2(&r) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn weighted_projector_idempotent_and_annihilates_col_h() {
+        let h = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.5, 1.0],
+            &[-1.0, 2.0],
+            &[0.0, 1.0],
+        ])
+        .unwrap();
+        let w = [1.0, 4.0, 0.25, 2.0];
+        let s = weighted_residual_projector(&h, &w).unwrap();
+        assert!(s.matmul(&s).unwrap().approx_eq(&s, 1e-10));
+        for j in 0..h.cols() {
+            let r = s.matvec(&h.col(j)).unwrap();
+            assert!(vector::norm2(&r) < 1e-10, "S should annihilate Col(H)");
+        }
+    }
+
+    #[test]
+    fn weighted_projector_with_unit_weights_is_orthogonal_projector() {
+        let h = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let s = weighted_residual_projector(&h, &[1.0, 1.0, 1.0]).unwrap();
+        let pc = complement_projector(&h).unwrap();
+        assert!(s.approx_eq(&pc, 1e-10));
+    }
+
+    #[test]
+    fn weighted_projector_rejects_bad_weight_length() {
+        let h = Matrix::zeros(3, 1);
+        assert!(weighted_residual_projector(&h, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_h_is_reported() {
+        let h = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert!(matches!(
+            weighted_residual_projector(&h, &[1.0, 1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+}

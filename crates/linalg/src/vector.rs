@@ -1,0 +1,160 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Power-system state, measurement and attack vectors are plain `Vec<f64>`
+//! throughout the workspace; this module provides the handful of BLAS-1
+//! style kernels they need.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (ℓ₂) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// ℓ₁ norm (sum of absolute values).
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// ℓ∞ norm (largest absolute value).
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Weighted squared norm `Σ wᵢ aᵢ²`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn weighted_norm_sq(a: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(a.len(), w.len(), "weighted_norm_sq: length mismatch");
+    a.iter().zip(w.iter()).map(|(x, wi)| wi * x * x).sum()
+}
+
+/// In-place `y ← y + alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Scaled copy `alpha * a`.
+pub fn scale(alpha: f64, a: &[f64]) -> Vec<f64> {
+    a.iter().map(|x| alpha * x).collect()
+}
+
+/// Normalizes `a` to unit ℓ₂ norm; returns `None` when `‖a‖ == 0`.
+pub fn normalized(a: &[f64]) -> Option<Vec<f64>> {
+    let n = norm2(a);
+    if n == 0.0 {
+        None
+    } else {
+        Some(scale(1.0 / n, a))
+    }
+}
+
+/// Returns `true` when `‖a − b‖∞ ≤ tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+/// Sum of all entries.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, -4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm1(&a), 7.0);
+        assert_eq!(norm_inf(&a), 4.0);
+    }
+
+    #[test]
+    fn weighted_norm_uses_weights() {
+        let a = [1.0, 2.0];
+        let w = [4.0, 0.25];
+        assert_eq!(weighted_norm_sq(&a, &w), 4.0 + 1.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        assert_eq!(add(&a, &b), vec![4.0, 7.0]);
+        assert_eq!(sub(&b, &a), vec![2.0, 3.0]);
+        assert_eq!(scale(2.0, &a), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalized_unit_norm_or_none() {
+        let v = normalized(&[3.0, 4.0]).unwrap();
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        assert!(normalized(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-3));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_adds_entries() {
+        assert_eq!(sum(&[1.0, 2.0, 3.5]), 6.5);
+    }
+}

@@ -1,0 +1,348 @@
+//! DC optimal power flow (problem (1) of the paper) on top of the LP
+//! solver.
+//!
+//! For a fixed reactance vector the DC-OPF is a linear program:
+//!
+//! ```text
+//! min Σ Cᵢ(Gᵢ)                        (generation cost)
+//! s.t. g − l = B θ                    (nodal balance, B = A D Aᵀ)
+//!      −f_max ≤ D Aᵀ θ ≤ f_max        (flow limits)
+//!      g_min ≤ g ≤ g_max              (generator limits)
+//! ```
+//!
+//! Linear generator costs go straight into the LP objective; quadratic
+//! costs (MATPOWER `case30`) are linearized into convex piecewise-linear
+//! segments — convexity guarantees the segments fill in merit order, so
+//! the LP relaxation is exact at the knots.
+//!
+//! Optimization **over reactances** (the `x` degrees of freedom of
+//! problem (1), and the SPA-constrained problem (4)) is nonconvex and is
+//! handled by [`crate::nlp`] with this LP as the inner solve.
+
+use std::error::Error;
+use std::fmt;
+
+use gridmtd_powergrid::{dcpf, GenCost, GridError, Network};
+
+use crate::lp::{LpError, LpProblem, Relation};
+
+/// Options for the DC-OPF construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpfOptions {
+    /// Number of piecewise-linear segments used for quadratic cost curves.
+    pub pwl_segments: usize,
+}
+
+impl Default for OpfOptions {
+    fn default() -> OpfOptions {
+        OpfOptions { pwl_segments: 10 }
+    }
+}
+
+/// Errors from the DC-OPF.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpfError {
+    /// The OPF is infeasible (load cannot be served within limits).
+    Infeasible,
+    /// The LP was unbounded — indicates corrupted cost data.
+    Unbounded,
+    /// Network/model construction failure.
+    Grid(GridError),
+    /// Internal LP failure.
+    Lp(LpError),
+}
+
+impl fmt::Display for OpfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpfError::Infeasible => write!(f, "OPF is infeasible"),
+            OpfError::Unbounded => write!(f, "OPF is unbounded"),
+            OpfError::Grid(e) => write!(f, "grid error: {e}"),
+            OpfError::Lp(e) => write!(f, "LP error: {e}"),
+        }
+    }
+}
+
+impl Error for OpfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OpfError::Grid(e) => Some(e),
+            OpfError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GridError> for OpfError {
+    fn from(e: GridError) -> OpfError {
+        OpfError::Grid(e)
+    }
+}
+
+impl From<LpError> for OpfError {
+    fn from(e: LpError) -> OpfError {
+        match e {
+            LpError::Infeasible => OpfError::Infeasible,
+            LpError::Unbounded => OpfError::Unbounded,
+            other => OpfError::Lp(other),
+        }
+    }
+}
+
+/// Solution of a DC-OPF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpfSolution {
+    /// Generator dispatch, MW (generator order).
+    pub dispatch: Vec<f64>,
+    /// Bus voltage angles, radians (slack = 0).
+    pub theta: Vec<f64>,
+    /// Branch flows, MW.
+    pub flows: Vec<f64>,
+    /// Total generation cost, $/h, evaluated with the **exact** cost model
+    /// (quadratic where applicable), not the PWL surrogate.
+    pub cost: f64,
+}
+
+/// Solves the DC-OPF for the given reactance vector.
+///
+/// # Errors
+///
+/// * [`OpfError::Infeasible`] when the load cannot be served.
+/// * Reactance validation errors via [`OpfError::Grid`].
+pub fn solve_opf(net: &Network, x: &[f64], options: &OpfOptions) -> Result<OpfSolution, OpfError> {
+    net.check_reactances(x)?;
+    let n = net.n_buses();
+    let slack = net.slack();
+    let b_full = net.b_matrix(x)?;
+    let suscept = net.susceptances(x)?;
+
+    let mut lp = LpProblem::new();
+
+    // Generator variables (and PWL segments for quadratic costs).
+    let mut gen_vars = Vec::with_capacity(net.n_gens());
+    let mut cost_offset = 0.0;
+    for g in net.gens() {
+        match g.cost {
+            GenCost::Linear { c } => {
+                gen_vars.push(lp.add_var(g.pmin_mw, g.pmax_mw, c));
+            }
+            GenCost::Quadratic { .. } => {
+                let k = options.pwl_segments.max(1);
+                let width = (g.pmax_mw - g.pmin_mw) / k as f64;
+                // g = pmin + Σ s_j, each segment priced at its chord slope.
+                let gv = lp.add_var(g.pmin_mw, g.pmax_mw, 0.0);
+                let mut coeffs = vec![(gv, 1.0)];
+                for j in 0..k {
+                    let p_lo = g.pmin_mw + j as f64 * width;
+                    let p_hi = p_lo + width;
+                    let slope = (g.cost.eval(p_hi) - g.cost.eval(p_lo)) / width;
+                    let s = lp.add_var(0.0, width, slope);
+                    coeffs.push((s, -1.0));
+                }
+                lp.add_constraint(coeffs, Relation::Eq, g.pmin_mw);
+                cost_offset += g.cost.eval(g.pmin_mw);
+                gen_vars.push(gv);
+            }
+        }
+    }
+
+    // Angle variables for non-slack buses.
+    let mut theta_vars = vec![usize::MAX; n];
+    for i in 0..n {
+        if i != slack {
+            theta_vars[i] = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        }
+    }
+
+    // Nodal balance at every bus: Σ g@i − Σ_j B[i,j] θ_j = load_i.
+    for i in 0..n {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for (gi, g) in net.gens().iter().enumerate() {
+            if g.bus == i {
+                coeffs.push((gen_vars[gi], 1.0));
+            }
+        }
+        for j in 0..n {
+            if j != slack && b_full[(i, j)] != 0.0 {
+                coeffs.push((theta_vars[j], -b_full[(i, j)]));
+            }
+        }
+        lp.add_constraint(coeffs, Relation::Eq, net.bus(i).load_mw);
+    }
+
+    // Flow limits: −fmax ≤ b_l (θ_from − θ_to) ≤ fmax.
+    for (l, br) in net.branches().iter().enumerate() {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        if br.from != slack {
+            coeffs.push((theta_vars[br.from], suscept[l]));
+        }
+        if br.to != slack {
+            coeffs.push((theta_vars[br.to], -suscept[l]));
+        }
+        lp.add_constraint(coeffs.clone(), Relation::Le, br.flow_limit_mw);
+        lp.add_constraint(coeffs, Relation::Ge, -br.flow_limit_mw);
+    }
+
+    let sol = lp.solve()?;
+
+    let dispatch: Vec<f64> = gen_vars.iter().map(|&v| sol.x[v]).collect();
+    // Recover flows/angles from a DC power flow at the LP dispatch: this
+    // also serves as an internal consistency check of the LP model.
+    let pf = dcpf::solve_dispatch(net, x, &dispatch)?;
+
+    // Exact cost at the LP dispatch.
+    let cost: f64 = net
+        .gens()
+        .iter()
+        .zip(dispatch.iter())
+        .map(|(g, &d)| g.cost.eval(d))
+        .sum();
+    // The PWL chords lie above every convex cost curve, so the LP
+    // objective can never undercut the exact cost at the same dispatch.
+    debug_assert!(
+        sol.objective + cost_offset >= cost - 1e-6 * (1.0 + cost.abs()),
+        "PWL surrogate undercut the exact convex cost"
+    );
+
+    Ok(OpfSolution {
+        dispatch,
+        theta: pf.theta,
+        flows: pf.flows,
+        cost,
+    })
+}
+
+/// Solves the DC-OPF at the network's nominal reactances.
+///
+/// # Errors
+///
+/// See [`solve_opf`].
+pub fn solve_opf_nominal(net: &Network, options: &OpfOptions) -> Result<OpfSolution, OpfError> {
+    solve_opf(net, &net.nominal_reactances(), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+
+    #[test]
+    fn case4_reproduces_table2() {
+        let net = cases::case4();
+        let sol = solve_opf_nominal(&net, &OpfOptions::default()).unwrap();
+        // Table II: dispatch (350, 150), cost $1.15e4, flows
+        // (126.56, 173.44, −43.44, −26.56).
+        assert!((sol.dispatch[0] - 350.0).abs() < 1e-6, "{:?}", sol.dispatch);
+        assert!((sol.dispatch[1] - 150.0).abs() < 1e-6);
+        assert!((sol.cost - 11_500.0).abs() < 1e-6);
+        let expected = [126.56, 173.44, -43.44, -26.56];
+        for (l, &e) in expected.iter().enumerate() {
+            assert!((sol.flows[l] - e).abs() < 0.01, "line {l}: {}", sol.flows[l]);
+        }
+    }
+
+    #[test]
+    fn case14_merit_order_dispatch() {
+        // With 160/60 MW limits the 14-bus system is lightly congested;
+        // cheapest units (bus 1 @ 20, bus 2 @ 30) should carry most load.
+        let net = cases::case14();
+        let sol = solve_opf_nominal(&net, &OpfOptions::default()).unwrap();
+        let total: f64 = sol.dispatch.iter().sum();
+        assert!((total - 259.0).abs() < 1e-6, "generation balances load");
+        assert!(sol.dispatch[0] > 150.0, "cheapest unit leads: {:?}", sol.dispatch);
+        // All flows within limits.
+        for (l, br) in net.branches().iter().enumerate() {
+            assert!(
+                sol.flows[l].abs() <= br.flow_limit_mw + 1e-6,
+                "flow {l} violates limit"
+            );
+        }
+    }
+
+    #[test]
+    fn case30_quadratic_costs_solve() {
+        let net = cases::case30();
+        let sol = solve_opf_nominal(&net, &OpfOptions::default()).unwrap();
+        let total: f64 = sol.dispatch.iter().sum();
+        assert!((total - 189.2).abs() < 1e-5);
+        assert!(sol.cost > 0.0);
+        for (l, br) in net.branches().iter().enumerate() {
+            assert!(sol.flows[l].abs() <= br.flow_limit_mw + 1e-5);
+        }
+        for (g, d) in net.gens().iter().zip(sol.dispatch.iter()) {
+            assert!(*d >= g.pmin_mw - 1e-9 && *d <= g.pmax_mw + 1e-9);
+        }
+    }
+
+    #[test]
+    fn finer_pwl_grid_reduces_cost_error() {
+        let net = cases::case30();
+        let coarse = solve_opf(
+            &net,
+            &net.nominal_reactances(),
+            &OpfOptions { pwl_segments: 2 },
+        )
+        .unwrap();
+        let fine = solve_opf(
+            &net,
+            &net.nominal_reactances(),
+            &OpfOptions { pwl_segments: 40 },
+        )
+        .unwrap();
+        // The exact cost of the finer solution cannot be worse (it solves a
+        // tighter relaxation of the same convex problem).
+        assert!(fine.cost <= coarse.cost + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_when_capacity_insufficient() {
+        let net = cases::case14().scale_loads(3.0); // 777 MW > 450 MW cap
+        let err = solve_opf_nominal(&net, &OpfOptions::default()).unwrap_err();
+        assert_eq!(err, OpfError::Infeasible);
+    }
+
+    #[test]
+    fn congestion_raises_cost() {
+        // Shrinking line limits forces out-of-merit dispatch; cost rises.
+        let net = cases::case14();
+        let base = solve_opf_nominal(&net, &OpfOptions::default())
+            .unwrap()
+            .cost;
+        // Tighten only line 1 (the 160 MW corridor out of the cheap unit);
+        // this forces out-of-merit redispatch while staying feasible.
+        let mut tight_branches = net.branches().to_vec();
+        tight_branches[0].flow_limit_mw = 90.0;
+        let tight = gridmtd_powergrid::Network::new(
+            "tight14",
+            net.buses().to_vec(),
+            tight_branches,
+            net.gens().to_vec(),
+            net.slack(),
+        )
+        .unwrap();
+        let constrained = solve_opf_nominal(&tight, &OpfOptions::default())
+            .unwrap()
+            .cost;
+        assert!(
+            constrained > base + 1.0,
+            "congestion should raise cost: {base} -> {constrained}"
+        );
+    }
+
+    #[test]
+    fn perturbed_reactances_never_cheaper_than_free_optimum() {
+        // For the 4-bus system the nominal point is optimal (gen-1 at
+        // Pmax); any reactance perturbation can only increase cost.
+        let net = cases::case4();
+        let x0 = net.nominal_reactances();
+        let base = solve_opf(&net, &x0, &OpfOptions::default()).unwrap().cost;
+        for l in 0..4 {
+            for scale in [0.8, 1.2] {
+                let mut x = x0.clone();
+                x[l] *= scale;
+                let c = solve_opf(&net, &x, &OpfOptions::default()).unwrap().cost;
+                assert!(c >= base - 1e-9, "perturbation ({l},{scale}) got cheaper");
+            }
+        }
+    }
+}

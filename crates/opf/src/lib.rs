@@ -1,0 +1,30 @@
+//! Optimal power flow substrate for the `gridmtd` workspace.
+//!
+//! * [`lp`] — a self-contained dense two-phase simplex LP solver.
+//! * [`dcopf`] — the DC optimal power flow of problem (1) of
+//!   Lakshminarayana & Yau (DSN 2018), with piecewise-linear treatment of
+//!   quadratic generator costs.
+//! * [`nlp`] — box-constrained Nelder–Mead and multistart, the
+//!   fmincon/MultiStart analogue used for reactance optimization
+//!   (problem (4)) by the `gridmtd-core` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use gridmtd_opf::dcopf::{solve_opf_nominal, OpfOptions};
+//! use gridmtd_powergrid::cases;
+//!
+//! # fn main() -> Result<(), gridmtd_opf::dcopf::OpfError> {
+//! let net = cases::case4();
+//! let sol = solve_opf_nominal(&net, &OpfOptions::default())?;
+//! assert!((sol.cost - 11_500.0).abs() < 1e-6); // Table II of the paper
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dcopf;
+pub mod lp;
+pub mod nlp;
+
+pub use dcopf::{solve_opf, solve_opf_nominal, OpfError, OpfOptions, OpfSolution};
+pub use nlp::{multistart, nelder_mead, MinimizeResult, NelderMeadOptions};

@@ -1,0 +1,378 @@
+//! Derivative-free nonlinear minimization: box-constrained Nelder–Mead
+//! with multistart.
+//!
+//! The SPA-constrained reactance selection (problem (4) of the paper) is
+//! nonconvex; the authors solve it with MATLAB's `fmincon` under the
+//! `MultiStart` wrapper. This module provides the equivalent machinery:
+//! a robust Nelder–Mead simplex search projected onto box bounds, and a
+//! multistart driver over random interior starting points. Inequality
+//! constraints are handled by exterior penalty in the caller's objective
+//! (see `gridmtd-core::selection`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for a single Nelder–Mead run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex objective spread.
+    pub f_tol: f64,
+    /// Initial simplex edge length as a fraction of each box width.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> NelderMeadOptions {
+        NelderMeadOptions {
+            max_evals: 2_000,
+            f_tol: 1e-9,
+            initial_step: 0.25,
+        }
+    }
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimizeResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub f: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+}
+
+fn clamp_into(x: &mut [f64], lower: &[f64], upper: &[f64]) {
+    for ((xi, &lo), &hi) in x.iter_mut().zip(lower.iter()).zip(upper.iter()) {
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
+/// Minimizes `f` over the box `[lower, upper]` with Nelder–Mead started
+/// from `x0` (projected into the box).
+///
+/// Dimensions where `lower == upper` are held fixed.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or any bound pair is inverted.
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    opts: &NelderMeadOptions,
+) -> MinimizeResult {
+    let n = x0.len();
+    assert_eq!(lower.len(), n, "bounds length mismatch");
+    assert_eq!(upper.len(), n, "bounds length mismatch");
+    for i in 0..n {
+        assert!(lower[i] <= upper[i], "inverted bounds at {i}");
+    }
+
+    // Free dimensions only; fixed ones are pinned at their bound.
+    let free: Vec<usize> = (0..n).filter(|&i| upper[i] > lower[i]).collect();
+    let mut base = x0.to_vec();
+    clamp_into(&mut base, lower, upper);
+    if free.is_empty() {
+        let fv = f(&base);
+        return MinimizeResult {
+            x: base,
+            f: fv,
+            evals: 1,
+        };
+    }
+    let d = free.len();
+
+    let mut evals = 0usize;
+    let eval = |pt_free: &[f64], f: &mut F, evals: &mut usize| -> f64 {
+        let mut full = base.clone();
+        for (k, &i) in free.iter().enumerate() {
+            full[i] = pt_free[k].clamp(lower[i], upper[i]);
+        }
+        *evals += 1;
+        f(&full)
+    };
+
+    // Initial simplex.
+    let x0_free: Vec<f64> = free.iter().map(|&i| base[i]).collect();
+    let mut simplex: Vec<Vec<f64>> = vec![x0_free.clone()];
+    for k in 0..d {
+        let i = free[k];
+        let step = opts.initial_step * (upper[i] - lower[i]);
+        let mut p = x0_free.clone();
+        // Step toward whichever side has room.
+        if p[k] + step <= upper[i] {
+            p[k] += step;
+        } else {
+            p[k] -= step;
+        }
+        simplex.push(p);
+    }
+    let mut values: Vec<f64> = simplex
+        .iter()
+        .map(|p| eval(p, &mut f, &mut evals))
+        .collect();
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    while evals < opts.max_evals {
+        // Order simplex.
+        let mut idx: Vec<usize> = (0..=d).collect();
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN objective"));
+        let ordered: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let ordered_vals: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+        simplex = ordered;
+        values = ordered_vals;
+
+        if (values[d] - values[0]).abs() <= opts.f_tol * (1.0 + values[0].abs()) {
+            break;
+        }
+
+        // Centroid of all but worst.
+        let mut centroid = vec![0.0; d];
+        for p in simplex.iter().take(d) {
+            for k in 0..d {
+                centroid[k] += p[k] / d as f64;
+            }
+        }
+
+        // Reflection.
+        let reflected: Vec<f64> = (0..d)
+            .map(|k| centroid[k] + alpha * (centroid[k] - simplex[d][k]))
+            .collect();
+        let fr = eval(&reflected, &mut f, &mut evals);
+
+        if fr < values[0] {
+            // Expansion.
+            let expanded: Vec<f64> = (0..d)
+                .map(|k| centroid[k] + gamma * (reflected[k] - centroid[k]))
+                .collect();
+            let fe = eval(&expanded, &mut f, &mut evals);
+            if fe < fr {
+                simplex[d] = expanded;
+                values[d] = fe;
+            } else {
+                simplex[d] = reflected;
+                values[d] = fr;
+            }
+        } else if fr < values[d - 1] {
+            simplex[d] = reflected;
+            values[d] = fr;
+        } else {
+            // Contraction.
+            let contracted: Vec<f64> = (0..d)
+                .map(|k| centroid[k] + rho * (simplex[d][k] - centroid[k]))
+                .collect();
+            let fc = eval(&contracted, &mut f, &mut evals);
+            if fc < values[d] {
+                simplex[d] = contracted;
+                values[d] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for v in 1..=d {
+                    for k in 0..d {
+                        simplex[v][k] = simplex[0][k] + sigma * (simplex[v][k] - simplex[0][k]);
+                    }
+                    values[v] = eval(&simplex[v].clone(), &mut f, &mut evals);
+                }
+            }
+        }
+    }
+
+    // Return the best vertex as a full-dimension point.
+    let best = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective"))
+        .map(|(i, _)| i)
+        .expect("non-empty simplex");
+    let mut x = base.clone();
+    for (k, &i) in free.iter().enumerate() {
+        x[i] = simplex[best][k].clamp(lower[i], upper[i]);
+    }
+    MinimizeResult {
+        f: values[best],
+        x,
+        evals,
+    }
+}
+
+/// Multistart Nelder–Mead: `n_starts` runs from the nominal point plus
+/// random interior points, returning the best result (the analogue of
+/// fmincon + MultiStart in the paper's Section VII-A).
+///
+/// Deterministic for a fixed `seed`.
+///
+/// # Panics
+///
+/// Panics if `n_starts == 0` or the bound slices mismatch.
+pub fn multistart<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    n_starts: usize,
+    seed: u64,
+    opts: &NelderMeadOptions,
+) -> MinimizeResult {
+    assert!(n_starts > 0, "need at least one start");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<MinimizeResult> = None;
+    let mut total_evals = 0usize;
+    for s in 0..n_starts {
+        let start: Vec<f64> = if s == 0 {
+            x0.to_vec()
+        } else {
+            (0..x0.len())
+                .map(|i| {
+                    if upper[i] > lower[i] {
+                        rng.gen_range(lower[i]..upper[i])
+                    } else {
+                        lower[i]
+                    }
+                })
+                .collect()
+        };
+        let r = nelder_mead(&mut f, &start, lower, upper, opts);
+        total_evals += r.evals;
+        if best.as_ref().is_none_or(|b| r.f < b.f) {
+            best = Some(r);
+        }
+    }
+    let mut b = best.expect("at least one start ran");
+    b.evals = total_evals;
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl_is_minimized() {
+        let r = nelder_mead(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &[-5.0, -5.0],
+            &[5.0, 5.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 2.0).abs() < 1e-4);
+        assert!(r.f < 1e-7);
+    }
+
+    #[test]
+    fn respects_box_bounds() {
+        // Unconstrained optimum at (10, 10), box caps at 2.
+        let r = nelder_mead(
+            |x| (x[0] - 10.0).powi(2) + (x[1] - 10.0).powi(2),
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[2.0, 2.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!(r.x.iter().all(|&v| v <= 2.0 + 1e-12));
+        assert!((r.x[0] - 2.0).abs() < 1e-3 && (r.x[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_dimensions_are_pinned() {
+        let r = nelder_mead(
+            |x| x[0].powi(2) + (x[1] - 3.0).powi(2),
+            &[1.0, 0.0],
+            &[0.5, -10.0],
+            &[0.5, 10.0],
+            &NelderMeadOptions::default(),
+        );
+        assert_eq!(r.x[0], 0.5);
+        assert!((r.x[1] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rosenbrock_2d_converges() {
+        let opts = NelderMeadOptions {
+            max_evals: 20_000,
+            ..NelderMeadOptions::default()
+        };
+        let r = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &[-5.0, -5.0],
+            &[5.0, 5.0],
+            &opts,
+        );
+        assert!(r.f < 1e-6, "f = {}", r.f);
+    }
+
+    #[test]
+    fn multistart_escapes_local_minimum() {
+        // Double well: local min near x=-1 (f=0.1), global near x=2 (f=0).
+        let f = |x: &[f64]| {
+            let a = (x[0] + 1.0).powi(2) + 0.1;
+            let b = 3.0 * (x[0] - 2.0).powi(2);
+            a.min(b)
+        };
+        // Single start from the basin of the local min gets stuck.
+        let local = nelder_mead(f, &[-1.4], &[-3.0], &[3.0], &NelderMeadOptions::default());
+        assert!((local.x[0] + 1.0).abs() < 0.05);
+        // Multistart finds the global one.
+        let global = multistart(
+            f,
+            &[-1.4],
+            &[-3.0],
+            &[3.0],
+            12,
+            7,
+            &NelderMeadOptions::default(),
+        );
+        assert!((global.x[0] - 2.0).abs() < 0.05, "{:?}", global.x);
+        assert!(global.f < 1e-6);
+    }
+
+    #[test]
+    fn multistart_is_deterministic_per_seed() {
+        let f = |x: &[f64]| x[0].sin() * (3.0 * x[0]).cos() + 0.1 * x[0] * x[0];
+        let a = multistart(f, &[0.0], &[-6.0], &[6.0], 8, 42, &NelderMeadOptions::default());
+        let b = multistart(f, &[0.0], &[-6.0], &[6.0], 8, 42, &NelderMeadOptions::default());
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.f, b.f);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn zero_starts_panics() {
+        multistart(
+            |x: &[f64]| x[0],
+            &[0.0],
+            &[0.0],
+            &[1.0],
+            0,
+            0,
+            &NelderMeadOptions::default(),
+        );
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let mut count = 0usize;
+        let opts = NelderMeadOptions {
+            max_evals: 50,
+            ..NelderMeadOptions::default()
+        };
+        let _ = nelder_mead(
+            |x| {
+                count += 1;
+                x.iter().map(|v| v * v).sum()
+            },
+            &[1.0, 1.0, 1.0],
+            &[-2.0; 3],
+            &[2.0; 3],
+            &opts,
+        );
+        // A few extra evals can occur inside the final shrink step.
+        assert!(count <= 60, "count = {count}");
+    }
+}

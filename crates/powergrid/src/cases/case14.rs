@@ -1,0 +1,125 @@
+//! IEEE 14-bus system with the paper's Section VII-A configuration.
+
+use crate::{Branch, Bus, Generator, Network};
+
+/// Branch data from MATPOWER `case14`: (from, to, reactance p.u.),
+/// 1-indexed buses as in the original case file.
+const BRANCHES: [(usize, usize, f64); 20] = [
+    (1, 2, 0.05917),
+    (1, 5, 0.22304),
+    (2, 3, 0.19797),
+    (2, 4, 0.17632),
+    (2, 5, 0.17388),
+    (3, 4, 0.17103),
+    (4, 5, 0.04211),
+    (4, 7, 0.20912),
+    (4, 9, 0.55618),
+    (5, 6, 0.25202),
+    (6, 11, 0.19890),
+    (6, 12, 0.25581),
+    (6, 13, 0.13027),
+    (7, 8, 0.17615),
+    (7, 9, 0.11001),
+    (9, 10, 0.08450),
+    (9, 14, 0.27038),
+    (10, 11, 0.19207),
+    (12, 13, 0.19988),
+    (13, 14, 0.34802),
+];
+
+/// Bus loads (Pd) from MATPOWER `case14`, MW, bus order 1..14.
+const LOADS: [f64; 14] = [
+    0.0, 21.7, 94.2, 47.8, 7.6, 11.2, 0.0, 0.0, 29.5, 9.0, 3.5, 6.1, 13.5, 14.9,
+];
+
+/// Generators per Table IV of the paper: (bus, Pmax MW, cost $/MWh).
+const GENS: [(usize, f64, f64); 5] = [
+    (1, 300.0, 20.0),
+    (2, 50.0, 30.0),
+    (3, 30.0, 40.0),
+    (6, 50.0, 50.0),
+    (8, 20.0, 35.0),
+];
+
+/// D-FACTS branches per Section VII-A (1-indexed branch numbers).
+const DFACTS: [usize; 6] = [1, 5, 9, 11, 17, 19];
+
+/// Builds the IEEE 14-bus system exactly as configured in the paper's
+/// simulation section:
+///
+/// * topology, reactances and loads from MATPOWER `case14`
+///   (total load 259 MW);
+/// * generators at buses 1, 2, 3, 6, 8 with linear costs (Table IV);
+/// * flow limit 160 MW on branch 1 and 60 MW on every other branch;
+/// * D-FACTS devices on branches {1, 5, 9, 11, 17, 19} (1-indexed),
+///   adjustable within `±η_max` of nominal (the paper uses
+///   `η_max = 0.5`, passed separately to [`Network::reactance_bounds`]).
+pub fn case14() -> Network {
+    let buses: Vec<Bus> = LOADS.iter().map(|&l| Bus::with_load(l)).collect();
+    let branches: Vec<Branch> = BRANCHES
+        .iter()
+        .enumerate()
+        .map(|(idx, &(f, t, x))| {
+            let limit = if idx == 0 { 160.0 } else { 60.0 };
+            let br = Branch::new(f - 1, t - 1, x, limit);
+            if DFACTS.contains(&(idx + 1)) {
+                br.with_dfacts()
+            } else {
+                br
+            }
+        })
+        .collect();
+    let gens: Vec<Generator> = GENS
+        .iter()
+        .map(|&(bus, pmax, c)| Generator::linear(bus - 1, pmax, c))
+        .collect();
+    Network::new("ieee14", buses, branches, gens, 0).expect("case14 data is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_ieee14() {
+        let net = case14();
+        assert_eq!(net.n_buses(), 14);
+        assert_eq!(net.n_branches(), 20);
+        assert_eq!(net.n_gens(), 5);
+        assert_eq!(net.n_measurements(), 54);
+        assert_eq!(net.n_states(), 13);
+    }
+
+    #[test]
+    fn total_load_is_259_mw() {
+        assert!((case14().total_load() - 259.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generator_capacity_is_450_mw() {
+        let cap: f64 = case14().gens().iter().map(|g| g.pmax_mw).sum();
+        assert_eq!(cap, 450.0);
+    }
+
+    #[test]
+    fn dfacts_set_matches_paper() {
+        // {1,5,9,11,17,19} 1-indexed → {0,4,8,10,16,18} 0-indexed.
+        assert_eq!(case14().dfacts_branches(), vec![0, 4, 8, 10, 16, 18]);
+    }
+
+    #[test]
+    fn line1_has_higher_limit() {
+        let net = case14();
+        assert_eq!(net.branch(0).flow_limit_mw, 160.0);
+        for l in 1..20 {
+            assert_eq!(net.branch(l).flow_limit_mw, 60.0);
+        }
+    }
+
+    #[test]
+    fn network_is_connected_and_has_full_rank_h() {
+        let net = case14();
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        assert_eq!(gridmtd_linalg::Svd::compute(&h).unwrap().rank(), 13);
+    }
+}

@@ -1,0 +1,147 @@
+//! IEEE 30-bus system (MATPOWER `case30` defaults).
+
+use crate::{Branch, Bus, Generator, Network};
+
+/// Branch data from MATPOWER `case30`: (from, to, reactance p.u.,
+/// rate A in MW), 1-indexed buses.
+const BRANCHES: [(usize, usize, f64, f64); 41] = [
+    (1, 2, 0.06, 130.0),
+    (1, 3, 0.19, 130.0),
+    (2, 4, 0.17, 65.0),
+    (3, 4, 0.04, 130.0),
+    (2, 5, 0.20, 130.0),
+    (2, 6, 0.18, 65.0),
+    (4, 6, 0.04, 90.0),
+    (5, 7, 0.12, 70.0),
+    (6, 7, 0.08, 130.0),
+    (6, 8, 0.04, 32.0),
+    (6, 9, 0.21, 65.0),
+    (6, 10, 0.56, 32.0),
+    (9, 11, 0.21, 65.0),
+    (9, 10, 0.11, 65.0),
+    (4, 12, 0.26, 65.0),
+    (12, 13, 0.14, 65.0),
+    (12, 14, 0.26, 32.0),
+    (12, 15, 0.13, 32.0),
+    (12, 16, 0.20, 32.0),
+    (14, 15, 0.20, 16.0),
+    (16, 17, 0.19, 16.0),
+    (15, 18, 0.22, 16.0),
+    (18, 19, 0.13, 16.0),
+    (19, 20, 0.07, 32.0),
+    (10, 20, 0.21, 32.0),
+    (10, 17, 0.08, 32.0),
+    (10, 21, 0.07, 32.0),
+    (10, 22, 0.15, 32.0),
+    (21, 22, 0.02, 32.0),
+    (15, 23, 0.20, 16.0),
+    (22, 24, 0.18, 16.0),
+    (23, 24, 0.27, 16.0),
+    (24, 25, 0.33, 16.0),
+    (25, 26, 0.38, 16.0),
+    (25, 27, 0.21, 16.0),
+    (28, 27, 0.40, 65.0),
+    (27, 29, 0.42, 16.0),
+    (27, 30, 0.60, 16.0),
+    (29, 30, 0.45, 16.0),
+    (8, 28, 0.20, 32.0),
+    (6, 28, 0.06, 32.0),
+];
+
+/// Bus loads (Pd) from MATPOWER `case30`, MW, bus order 1..30.
+/// Total: 189.2 MW.
+const LOADS: [f64; 30] = [
+    0.0, 21.7, 2.4, 7.6, 0.0, 0.0, 22.8, 30.0, 0.0, 5.8, 0.0, 11.2, 0.0, 6.2, 8.2, 3.5, 9.0, 3.2,
+    9.5, 2.2, 17.5, 0.0, 3.2, 8.7, 0.0, 3.5, 0.0, 0.0, 2.4, 10.6,
+];
+
+/// Generators from MATPOWER `case30`: (bus, Pmax MW, c2 $/MW²h, c1 $/MWh).
+const GENS: [(usize, f64, f64, f64); 6] = [
+    (1, 80.0, 0.02, 2.0),
+    (2, 80.0, 0.0175, 1.75),
+    (22, 50.0, 0.0625, 1.0),
+    (27, 55.0, 0.00834, 3.25),
+    (23, 30.0, 0.025, 3.0),
+    (13, 40.0, 0.025, 3.0),
+];
+
+/// D-FACTS branches for the 30-bus MTD study (1-indexed branch numbers).
+///
+/// The paper does not state its 30-bus D-FACTS placement ("default
+/// settings"); we spread eight devices across the network — two near the
+/// generation pocket (branches 1, 5), the 6–9/6–10 transformer corridor
+/// (11, 12), the 12-bus load pocket (16, 18) and the 25–27/28–27 tail
+/// (35, 36) — so that every region of the grid can be perturbed.
+const DFACTS: [usize; 8] = [1, 5, 11, 12, 16, 18, 35, 36];
+
+/// Builds the IEEE 30-bus system with MATPOWER's default loads (189.2 MW
+/// total), generator limits and quadratic generation costs.
+///
+/// Used by the paper for the Fig. 6(b) scalability study of MTD
+/// effectiveness. See [`DFACTS`] for the D-FACTS placement convention.
+pub fn case30() -> Network {
+    let buses: Vec<Bus> = LOADS.iter().map(|&l| Bus::with_load(l)).collect();
+    let branches: Vec<Branch> = BRANCHES
+        .iter()
+        .enumerate()
+        .map(|(idx, &(f, t, x, rate))| {
+            let br = Branch::new(f - 1, t - 1, x, rate);
+            if DFACTS.contains(&(idx + 1)) {
+                br.with_dfacts()
+            } else {
+                br
+            }
+        })
+        .collect();
+    let gens: Vec<Generator> = GENS
+        .iter()
+        .map(|&(bus, pmax, c2, c1)| Generator::quadratic(bus - 1, pmax, c2, c1))
+        .collect();
+    Network::new("ieee30", buses, branches, gens, 0).expect("case30 data is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GenCost;
+
+    #[test]
+    fn dimensions_match_ieee30() {
+        let net = case30();
+        assert_eq!(net.n_buses(), 30);
+        assert_eq!(net.n_branches(), 41);
+        assert_eq!(net.n_gens(), 6);
+        assert_eq!(net.n_measurements(), 112);
+    }
+
+    #[test]
+    fn total_load_is_matpower_default() {
+        assert!((case30().total_load() - 189.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn costs_are_quadratic() {
+        for g in case30().gens() {
+            assert!(matches!(g.cost, GenCost::Quadratic { .. }));
+        }
+    }
+
+    #[test]
+    fn network_is_connected_with_full_rank_h() {
+        let net = case30();
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        assert_eq!(gridmtd_linalg::Svd::compute(&h).unwrap().rank(), 29);
+    }
+
+    #[test]
+    fn capacity_exceeds_load() {
+        let net = case30();
+        let cap: f64 = net.gens().iter().map(|g| g.pmax_mw).sum();
+        assert!(cap > net.total_load());
+    }
+
+    #[test]
+    fn eight_dfacts_devices() {
+        assert_eq!(case30().dfacts_branches().len(), 8);
+    }
+}

@@ -1,0 +1,23 @@
+//! Benchmark case library.
+//!
+//! * [`case4`] — the 4-bus system of Fig. 3 of the paper (derived from
+//!   MATPOWER's `case4gs`), calibrated so the pre-perturbation OPF matches
+//!   Table II exactly.
+//! * [`case14`] — IEEE 14-bus system with the paper's overrides
+//!   (Section VII-A): generators of Table IV, 160/60 MW line limits,
+//!   D-FACTS on branches {1, 5, 9, 11, 17, 19} (1-indexed).
+//! * [`case30`] — IEEE 30-bus system with MATPOWER's default loads,
+//!   generators and quadratic costs.
+//! * [`synthetic`] — random connected meshed networks of arbitrary size
+//!   for scaling studies (substitute for copying additional IEEE
+//!   datasets).
+
+mod case14;
+mod case30;
+mod case4;
+mod synthetic;
+
+pub use case14::case14;
+pub use case30::case30;
+pub use case4::case4;
+pub use synthetic::{synthetic, SyntheticConfig};

@@ -1,0 +1,203 @@
+//! Random connected meshed networks for scaling studies.
+//!
+//! The paper evaluates on IEEE 14/30-bus systems only; to study how MTD
+//! effectiveness and cost computations scale with grid size without
+//! hand-copying more IEEE datasets, this module generates random but
+//! realistic meshed grids: a spanning "backbone" (randomized tree) plus
+//! extra chords for meshing, loads drawn from a plausible range and a few
+//! generators with staggered marginal costs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Branch, Bus, Generator, Network};
+
+/// Configuration for [`synthetic`] network generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of buses (≥ 2).
+    pub n_buses: usize,
+    /// Extra meshing chords beyond the spanning tree, as a fraction of the
+    /// bus count (0.5 gives `L ≈ 1.5 N`, close to real transmission
+    /// grids).
+    pub chord_fraction: f64,
+    /// Fraction of branches carrying D-FACTS devices.
+    pub dfacts_fraction: f64,
+    /// Mean bus load, MW (loads are Uniform(0.4, 1.6) × mean; a random
+    /// third of buses carry no load).
+    pub mean_load_mw: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> SyntheticConfig {
+        SyntheticConfig {
+            n_buses: 20,
+            chord_fraction: 0.5,
+            dfacts_fraction: 0.3,
+            mean_load_mw: 15.0,
+        }
+    }
+}
+
+/// Generates a random connected network from a seed.
+///
+/// Determinism: the same `(config, seed)` pair always yields the same
+/// network, so benchmarks and tests are reproducible.
+///
+/// # Panics
+///
+/// Panics if `config.n_buses < 2` or the fractions are outside `[0, 1]`.
+pub fn synthetic(config: &SyntheticConfig, seed: u64) -> Network {
+    assert!(config.n_buses >= 2, "need at least 2 buses");
+    assert!(
+        (0.0..=1.0).contains(&config.dfacts_fraction),
+        "dfacts_fraction must be in [0,1]"
+    );
+    assert!(config.chord_fraction >= 0.0, "chord_fraction must be >= 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.n_buses;
+
+    // Loads: ~1/3 of buses are pure transit (zero load).
+    let mut buses = Vec::with_capacity(n);
+    for _ in 0..n {
+        let load = if rng.gen_bool(1.0 / 3.0) {
+            0.0
+        } else {
+            config.mean_load_mw * rng.gen_range(0.4..1.6)
+        };
+        buses.push(Bus::with_load(load));
+    }
+
+    // Spanning tree: attach bus i to a random earlier bus.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        edges.push((j, i));
+    }
+    // Meshing chords (avoid duplicates and self-loops).
+    let n_chords = (config.chord_fraction * n as f64).round() as usize;
+    let mut attempts = 0;
+    while edges.len() < n - 1 + n_chords && attempts < 50 * n_chords.max(1) {
+        attempts += 1;
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let (a, b) = (i.min(j), i.max(j));
+        if edges.iter().any(|&(u, v)| (u, v) == (a, b)) {
+            continue;
+        }
+        edges.push((a, b));
+    }
+
+    let total_load: f64 = buses.iter().map(|b| b.load_mw).sum();
+    let branches: Vec<Branch> = edges
+        .iter()
+        .map(|&(i, j)| {
+            let x = rng.gen_range(0.05..0.4);
+            // Generous limits so synthetic OPFs are feasible but can
+            // congest under perturbation.
+            let limit = (total_load * rng.gen_range(0.3..0.7)).max(20.0);
+            let br = Branch::new(i, j, x, limit);
+            if rng.gen_bool(config.dfacts_fraction) {
+                br.with_dfacts()
+            } else {
+                br
+            }
+        })
+        .collect();
+
+    // Generators: ~max(2, N/7) units with staggered costs; capacity covers
+    // 1.6× the load so OPF always has slack.
+    let n_gens = (n / 7).max(2);
+    let cap_each = 1.6 * total_load / n_gens as f64;
+    let mut gens = Vec::with_capacity(n_gens);
+    let mut gen_buses = Vec::new();
+    while gen_buses.len() < n_gens {
+        let b = rng.gen_range(0..n);
+        if !gen_buses.contains(&b) {
+            gen_buses.push(b);
+        }
+    }
+    for (k, &b) in gen_buses.iter().enumerate() {
+        let cost = 20.0 + 8.0 * k as f64 + rng.gen_range(0.0..4.0);
+        gens.push(Generator::linear(b, cap_each, cost));
+    }
+
+    Network::new(
+        format!("synthetic{n}-{seed}"),
+        buses,
+        branches,
+        gens,
+        gen_buses[0],
+    )
+    .expect("synthetic construction yields a connected, valid network")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SyntheticConfig::default();
+        let a = synthetic(&cfg, 7);
+        let b = synthetic(&cfg, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SyntheticConfig::default();
+        assert_ne!(synthetic(&cfg, 1), synthetic(&cfg, 2));
+    }
+
+    #[test]
+    fn networks_are_connected_across_sizes() {
+        for &n in &[5, 12, 40, 80] {
+            let cfg = SyntheticConfig {
+                n_buses: n,
+                ..SyntheticConfig::default()
+            };
+            let net = synthetic(&cfg, 42);
+            assert!(net.is_connected());
+            assert_eq!(net.n_buses(), n);
+            assert!(net.n_branches() >= n - 1);
+        }
+    }
+
+    #[test]
+    fn measurement_matrix_full_rank() {
+        let cfg = SyntheticConfig {
+            n_buses: 25,
+            ..SyntheticConfig::default()
+        };
+        let net = synthetic(&cfg, 3);
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        assert_eq!(gridmtd_linalg::Svd::compute(&h).unwrap().rank(), 24);
+    }
+
+    #[test]
+    fn generation_covers_load() {
+        let cfg = SyntheticConfig {
+            n_buses: 30,
+            ..SyntheticConfig::default()
+        };
+        let net = synthetic(&cfg, 11);
+        let cap: f64 = net.gens().iter().map(|g| g.pmax_mw).sum();
+        assert!(cap >= 1.5 * net.total_load());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 buses")]
+    fn single_bus_panics() {
+        synthetic(
+            &SyntheticConfig {
+                n_buses: 1,
+                ..SyntheticConfig::default()
+            },
+            0,
+        );
+    }
+}

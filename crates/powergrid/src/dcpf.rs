@@ -1,0 +1,221 @@
+//! DC power-flow solver.
+//!
+//! Solves `B̃ θ̃ = p̃` (slack row/column removed), then recovers branch
+//! flows `f_l = b_l (θ_i − θ_j)` and the slack injection from flow
+//! balance. This is the power-flow model of Section III of the paper.
+
+use gridmtd_linalg::Lu;
+
+use crate::{GridError, Network};
+
+/// Result of a DC power-flow solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerFlow {
+    /// Voltage phase angles, radians; `theta[slack] == 0`.
+    pub theta: Vec<f64>,
+    /// Branch flows in MW, positive in the branch's `from → to` direction.
+    pub flows: Vec<f64>,
+    /// Realized nodal net injections in MW (the slack entry absorbs the
+    /// system imbalance of the requested injections).
+    pub injections: Vec<f64>,
+}
+
+impl PowerFlow {
+    /// Measurement vector `z = [f; −f; p]` corresponding to this solution
+    /// (noiseless).
+    pub fn measurement_vector(&self) -> Vec<f64> {
+        let mut z = Vec::with_capacity(2 * self.flows.len() + self.injections.len());
+        z.extend_from_slice(&self.flows);
+        z.extend(self.flows.iter().map(|f| -f));
+        z.extend_from_slice(&self.injections);
+        z
+    }
+}
+
+/// Solves the DC power flow for the given reactances and requested nodal
+/// injections.
+///
+/// The slack entry of `injections` is ignored: the slack bus balances the
+/// system, and its realized injection is returned in
+/// [`PowerFlow::injections`].
+///
+/// # Errors
+///
+/// * [`GridError::DimensionMismatch`] if `injections.len() != n_buses`.
+/// * Reactance validation errors (see [`Network::check_reactances`]).
+/// * [`GridError::Numerical`] if the reduced susceptance matrix is
+///   singular (cannot happen for validated, connected networks).
+pub fn solve_dc(net: &Network, x: &[f64], injections: &[f64]) -> Result<PowerFlow, GridError> {
+    let n = net.n_buses();
+    if injections.len() != n {
+        return Err(GridError::DimensionMismatch {
+            what: "injections",
+            expected: n,
+            actual: injections.len(),
+        });
+    }
+    let b_red = net.b_reduced(x)?;
+    let slack = net.slack();
+    let p_red: Vec<f64> = injections
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| (i != slack).then_some(p))
+        .collect();
+    let theta_red = Lu::factor(&b_red)?.solve(&p_red)?;
+
+    let mut theta = Vec::with_capacity(n);
+    let mut it = theta_red.iter();
+    for i in 0..n {
+        if i == slack {
+            theta.push(0.0);
+        } else {
+            theta.push(*it.next().expect("reduced state has n-1 entries"));
+        }
+    }
+
+    let b = net.susceptances(x)?;
+    let flows: Vec<f64> = net
+        .branches()
+        .iter()
+        .enumerate()
+        .map(|(l, br)| b[l] * (theta[br.from] - theta[br.to]))
+        .collect();
+
+    // Realized injections from flow conservation (slack absorbs imbalance).
+    let mut realized = vec![0.0; n];
+    for (l, br) in net.branches().iter().enumerate() {
+        realized[br.from] += flows[l];
+        realized[br.to] -= flows[l];
+    }
+
+    Ok(PowerFlow {
+        theta,
+        flows,
+        injections: realized,
+    })
+}
+
+/// Solves the DC power flow for a generator dispatch (MW per generator)
+/// against the network's loads.
+///
+/// # Errors
+///
+/// See [`solve_dc`] and [`Network::injections`].
+pub fn solve_dispatch(net: &Network, x: &[f64], dispatch: &[f64]) -> Result<PowerFlow, GridError> {
+    let p = net.injections(dispatch)?;
+    solve_dc(net, x, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cases, Branch, Bus, Generator};
+
+    #[test]
+    fn two_bus_line_flow() {
+        let net = crate::Network::new(
+            "two",
+            vec![Bus::unloaded(), Bus::with_load(100.0)],
+            vec![Branch::new(0, 1, 0.1, 500.0)],
+            vec![Generator::linear(0, 200.0, 10.0)],
+            0,
+        )
+        .unwrap();
+        let pf = solve_dispatch(&net, &net.nominal_reactances(), &[100.0]).unwrap();
+        assert!((pf.flows[0] - 100.0).abs() < 1e-9);
+        assert!((pf.injections[0] - 100.0).abs() < 1e-9);
+        assert!((pf.injections[1] + 100.0).abs() < 1e-9);
+        assert_eq!(pf.theta[0], 0.0);
+        // f = b * (θ0 - θ1) with b = 100/0.1 = 1000 MW/rad → θ1 = -0.1 rad
+        assert!((pf.theta[1] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_conservation_at_every_bus() {
+        let net = cases::case14();
+        let x = net.nominal_reactances();
+        // arbitrary feasible dispatch: slack picks up the rest
+        let dispatch = vec![100.0, 50.0, 30.0, 40.0, 20.0];
+        let pf = solve_dispatch(&net, &x, &dispatch).unwrap();
+        let loads = net.loads();
+        // At non-slack buses the realized injection equals requested.
+        let p_req = net.injections(&dispatch).unwrap();
+        for i in 0..net.n_buses() {
+            if i != net.slack() {
+                assert!(
+                    (pf.injections[i] - p_req[i]).abs() < 1e-6,
+                    "bus {i}: {} vs {}",
+                    pf.injections[i],
+                    p_req[i]
+                );
+            }
+        }
+        // Slack absorbs total imbalance: Σ injections = 0.
+        let total: f64 = pf.injections.iter().sum();
+        assert!(total.abs() < 1e-6);
+        // Sanity: total realized generation equals total load.
+        let gen_total: f64 = pf
+            .injections
+            .iter()
+            .zip(loads.iter())
+            .map(|(p, l)| p + l)
+            .sum();
+        assert!((gen_total - net.total_load()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_4bus_table2_flows() {
+        // Table II of the paper: flows 126.56 / 173.44 / −43.44 / −26.56 MW
+        // at dispatch (350, 150).
+        let net = cases::case4();
+        let pf = solve_dispatch(&net, &net.nominal_reactances(), &[350.0, 150.0]).unwrap();
+        let expected = [126.56, 173.44, -43.44, -26.56];
+        for (l, &e) in expected.iter().enumerate() {
+            assert!(
+                (pf.flows[l] - e).abs() < 0.01,
+                "line {l}: {} vs {e}",
+                pf.flows[l]
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_vector_is_consistent_with_h() {
+        // z = H θ̃ exactly (noiseless DC model).
+        let net = cases::case14();
+        let x = net.nominal_reactances();
+        let dispatch = vec![120.0, 40.0, 30.0, 45.0, 20.0];
+        let pf = solve_dispatch(&net, &x, &dispatch).unwrap();
+        let z = pf.measurement_vector();
+        let h = net.measurement_matrix(&x).unwrap();
+        let theta_red: Vec<f64> = pf
+            .theta
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| (i != net.slack()).then_some(t))
+            .collect();
+        let z_model = h.matvec(&theta_red).unwrap();
+        for (a, b) in z.iter().zip(z_model.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn injection_length_is_validated() {
+        let net = cases::case4();
+        assert!(solve_dc(&net, &net.nominal_reactances(), &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn perturbing_reactance_changes_flows_not_balance() {
+        let net = cases::case4();
+        let mut x = net.nominal_reactances();
+        x[0] *= 0.8;
+        let pf = solve_dispatch(&net, &x, &[350.0, 150.0]).unwrap();
+        // Different flows than Table II...
+        assert!((pf.flows[0] - 126.56).abs() > 0.5);
+        // ...but conservation still holds.
+        let total: f64 = pf.injections.iter().sum();
+        assert!(total.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+use gridmtd_linalg::LinalgError;
+
+/// Errors produced by network construction and power-flow computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A branch references a bus index outside `0..n_buses`.
+    InvalidBusIndex {
+        /// The offending bus index.
+        bus: usize,
+        /// Number of buses in the network.
+        n_buses: usize,
+    },
+    /// A branch has a non-positive or non-finite reactance.
+    InvalidReactance {
+        /// Branch index.
+        branch: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The network graph is not connected.
+    Disconnected,
+    /// The network has no generators.
+    NoGenerators,
+    /// A supplied vector has the wrong length.
+    DimensionMismatch {
+        /// What the vector represents.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidBusIndex { bus, n_buses } => {
+                write!(f, "bus index {bus} out of range (network has {n_buses} buses)")
+            }
+            GridError::InvalidReactance { branch, value } => {
+                write!(f, "branch {branch} has invalid reactance {value}")
+            }
+            GridError::Disconnected => write!(f, "network graph is not connected"),
+            GridError::NoGenerators => write!(f, "network has no generators"),
+            GridError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            GridError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for GridError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GridError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GridError {
+    fn from(e: LinalgError) -> GridError {
+        GridError::Numerical(e)
+    }
+}

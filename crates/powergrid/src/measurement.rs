@@ -1,0 +1,130 @@
+//! Measurement vector layout.
+//!
+//! The SCADA measurement vector follows the paper's convention
+//! `z = [f; −f; p]`: forward branch flows, reverse branch flows, then
+//! nodal injections, for a total of `M = 2L + N` measurements. This module
+//! names the index arithmetic so that attack construction and residual
+//! analysis never hard-code offsets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Network;
+
+/// Index map for the `z = [f; −f; p]` measurement stacking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementLayout {
+    n_branches: usize,
+    n_buses: usize,
+}
+
+impl MeasurementLayout {
+    /// Layout for a given network.
+    pub fn for_network(net: &Network) -> MeasurementLayout {
+        MeasurementLayout {
+            n_branches: net.n_branches(),
+            n_buses: net.n_buses(),
+        }
+    }
+
+    /// Layout from raw counts.
+    pub fn new(n_branches: usize, n_buses: usize) -> MeasurementLayout {
+        MeasurementLayout {
+            n_branches,
+            n_buses,
+        }
+    }
+
+    /// Total measurement count `M = 2L + N`.
+    pub fn len(&self) -> usize {
+        2 * self.n_branches + self.n_buses
+    }
+
+    /// Returns `true` when the layout is empty (degenerate zero-size
+    /// network).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the forward-flow measurement of branch `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn forward_flow(&self, l: usize) -> usize {
+        assert!(l < self.n_branches, "branch {l} out of range");
+        l
+    }
+
+    /// Index of the reverse-flow measurement of branch `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn reverse_flow(&self, l: usize) -> usize {
+        assert!(l < self.n_branches, "branch {l} out of range");
+        self.n_branches + l
+    }
+
+    /// Index of the injection measurement of bus `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn injection(&self, i: usize) -> usize {
+        assert!(i < self.n_buses, "bus {i} out of range");
+        2 * self.n_branches + i
+    }
+
+    /// Splits a measurement vector into `(forward flows, reverse flows,
+    /// injections)` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.len()`.
+    pub fn split<'a>(&self, z: &'a [f64]) -> (&'a [f64], &'a [f64], &'a [f64]) {
+        assert_eq!(z.len(), self.len(), "measurement vector length mismatch");
+        let l = self.n_branches;
+        (&z[..l], &z[l..2 * l], &z[2 * l..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases;
+
+    #[test]
+    fn indices_partition_the_vector() {
+        let net = cases::case14();
+        let m = MeasurementLayout::for_network(&net);
+        assert_eq!(m.len(), 54);
+        assert!(!m.is_empty());
+        assert_eq!(m.forward_flow(0), 0);
+        assert_eq!(m.forward_flow(19), 19);
+        assert_eq!(m.reverse_flow(0), 20);
+        assert_eq!(m.injection(0), 40);
+        assert_eq!(m.injection(13), 53);
+    }
+
+    #[test]
+    fn split_returns_the_right_blocks() {
+        let m = MeasurementLayout::new(2, 3);
+        let z = [1.0, 2.0, -1.0, -2.0, 10.0, 20.0, 30.0];
+        let (f, fr, p) = m.split(&z);
+        assert_eq!(f, &[1.0, 2.0]);
+        assert_eq!(fr, &[-1.0, -2.0]);
+        assert_eq!(p, &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_flow_bounds_checked() {
+        MeasurementLayout::new(2, 3).forward_flow(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn split_checks_length() {
+        MeasurementLayout::new(2, 3).split(&[0.0; 5]);
+    }
+}

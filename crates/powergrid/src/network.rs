@@ -1,0 +1,594 @@
+//! The [`Network`] model: topology, matrices and the DC measurement model.
+
+use gridmtd_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{Branch, Bus, Generator, GridError};
+
+/// A validated power network under the DC power-flow model.
+///
+/// The network owns its *nominal* branch reactances; all matrix builders
+/// take an explicit reactance vector so that MTD perturbations can be
+/// evaluated without mutating the network. Flows are expressed in MW and
+/// angles in radians; the susceptance of branch `l` is
+/// `b_l = base_mva / x_l` (MW per radian).
+///
+/// # Example
+///
+/// ```
+/// use gridmtd_powergrid::cases;
+///
+/// let net = cases::case14();
+/// assert_eq!(net.n_buses(), 14);
+/// assert_eq!(net.n_branches(), 20);
+/// let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+/// // M = 2L + N rows, N − 1 state columns.
+/// assert_eq!(h.shape(), (2 * 20 + 14, 13));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    base_mva: f64,
+    buses: Vec<Bus>,
+    branches: Vec<Branch>,
+    gens: Vec<Generator>,
+    slack: usize,
+}
+
+impl Network {
+    /// Validates and constructs a network.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::InvalidBusIndex`] if a branch, generator or the slack
+    ///   references a nonexistent bus.
+    /// * [`GridError::InvalidReactance`] for non-positive/non-finite branch
+    ///   reactances.
+    /// * [`GridError::Disconnected`] if the graph is not connected.
+    /// * [`GridError::NoGenerators`] if no generator is present.
+    pub fn new(
+        name: impl Into<String>,
+        buses: Vec<Bus>,
+        branches: Vec<Branch>,
+        gens: Vec<Generator>,
+        slack: usize,
+    ) -> Result<Network, GridError> {
+        let n = buses.len();
+        if slack >= n {
+            return Err(GridError::InvalidBusIndex {
+                bus: slack,
+                n_buses: n,
+            });
+        }
+        for (l, br) in branches.iter().enumerate() {
+            if br.from >= n {
+                return Err(GridError::InvalidBusIndex {
+                    bus: br.from,
+                    n_buses: n,
+                });
+            }
+            if br.to >= n {
+                return Err(GridError::InvalidBusIndex {
+                    bus: br.to,
+                    n_buses: n,
+                });
+            }
+            if !(br.reactance_pu.is_finite() && br.reactance_pu > 0.0) {
+                return Err(GridError::InvalidReactance {
+                    branch: l,
+                    value: br.reactance_pu,
+                });
+            }
+        }
+        if gens.is_empty() {
+            return Err(GridError::NoGenerators);
+        }
+        for g in &gens {
+            if g.bus >= n {
+                return Err(GridError::InvalidBusIndex {
+                    bus: g.bus,
+                    n_buses: n,
+                });
+            }
+        }
+        let net = Network {
+            name: name.into(),
+            base_mva: 100.0,
+            buses,
+            branches,
+            gens,
+            slack,
+        };
+        if !net.is_connected() {
+            return Err(GridError::Disconnected);
+        }
+        Ok(net)
+    }
+
+    /// Human-readable case name (e.g. `"ieee14"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// System MVA base (100 MVA, the MATPOWER convention).
+    pub fn base_mva(&self) -> f64 {
+        self.base_mva
+    }
+
+    /// Number of buses `N`.
+    pub fn n_buses(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// Number of branches `L`.
+    pub fn n_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Number of generators.
+    pub fn n_gens(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Number of measurements `M = 2L + N` (forward flows, reverse flows,
+    /// injections).
+    pub fn n_measurements(&self) -> usize {
+        2 * self.n_branches() + self.n_buses()
+    }
+
+    /// State dimension `N − 1` (voltage phase angles, slack removed).
+    pub fn n_states(&self) -> usize {
+        self.n_buses() - 1
+    }
+
+    /// Index of the slack (reference) bus.
+    pub fn slack(&self) -> usize {
+        self.slack
+    }
+
+    /// Bus accessor.
+    pub fn bus(&self, i: usize) -> &Bus {
+        &self.buses[i]
+    }
+
+    /// Branch accessor.
+    pub fn branch(&self, l: usize) -> &Branch {
+        &self.branches[l]
+    }
+
+    /// Generator accessor.
+    pub fn gen(&self, g: usize) -> &Generator {
+        &self.gens[g]
+    }
+
+    /// All buses.
+    pub fn buses(&self) -> &[Bus] {
+        &self.buses
+    }
+
+    /// All branches.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// All generators.
+    pub fn gens(&self) -> &[Generator] {
+        &self.gens
+    }
+
+    /// Nominal branch reactances (per unit), in branch order.
+    pub fn nominal_reactances(&self) -> Vec<f64> {
+        self.branches.iter().map(|b| b.reactance_pu).collect()
+    }
+
+    /// Indices of D-FACTS-equipped branches.
+    pub fn dfacts_branches(&self) -> Vec<usize> {
+        self.branches
+            .iter()
+            .enumerate()
+            .filter_map(|(l, b)| b.dfacts.then_some(l))
+            .collect()
+    }
+
+    /// Reactance bounds `[x_min, x_max]` for a symmetric D-FACTS adjustment
+    /// range `η_max` (paper Section VII-A: `x ∈ [(1−η)x₀, (1+η)x₀]` on
+    /// D-FACTS lines, fixed elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta_max` is not in `[0, 1)`.
+    pub fn reactance_bounds(&self, eta_max: f64) -> (Vec<f64>, Vec<f64>) {
+        assert!(
+            (0.0..1.0).contains(&eta_max),
+            "eta_max must be in [0,1), got {eta_max}"
+        );
+        let mut lo = Vec::with_capacity(self.branches.len());
+        let mut hi = Vec::with_capacity(self.branches.len());
+        for b in &self.branches {
+            if b.dfacts {
+                lo.push(b.reactance_pu * (1.0 - eta_max));
+                hi.push(b.reactance_pu * (1.0 + eta_max));
+            } else {
+                lo.push(b.reactance_pu);
+                hi.push(b.reactance_pu);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Bus loads in MW, in bus order.
+    pub fn loads(&self) -> Vec<f64> {
+        self.buses.iter().map(|b| b.load_mw).collect()
+    }
+
+    /// Total system load, MW.
+    pub fn total_load(&self) -> f64 {
+        self.buses.iter().map(|b| b.load_mw).sum()
+    }
+
+    /// Branch flow limits in MW, in branch order.
+    pub fn flow_limits(&self) -> Vec<f64> {
+        self.branches.iter().map(|b| b.flow_limit_mw).collect()
+    }
+
+    /// Returns a copy of the network with the given bus loads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] if `loads.len()` differs
+    /// from the bus count.
+    pub fn with_loads(&self, loads: &[f64]) -> Result<Network, GridError> {
+        if loads.len() != self.n_buses() {
+            return Err(GridError::DimensionMismatch {
+                what: "loads",
+                expected: self.n_buses(),
+                actual: loads.len(),
+            });
+        }
+        let mut net = self.clone();
+        for (bus, &l) in net.buses.iter_mut().zip(loads.iter()) {
+            bus.load_mw = l;
+        }
+        Ok(net)
+    }
+
+    /// Returns a copy with every load multiplied by `factor` (used to feed
+    /// hourly load traces into a case).
+    pub fn scale_loads(&self, factor: f64) -> Network {
+        let mut net = self.clone();
+        for bus in net.buses.iter_mut() {
+            bus.load_mw *= factor;
+        }
+        net
+    }
+
+    /// Branch–bus incidence matrix `A ∈ R^{N×L}`: `A[i,l] = +1` if branch
+    /// `l` starts at bus `i`, `−1` if it ends there.
+    pub fn incidence(&self) -> Matrix {
+        let mut a = Matrix::zeros(self.n_buses(), self.n_branches());
+        for (l, br) in self.branches.iter().enumerate() {
+            a[(br.from, l)] = 1.0;
+            a[(br.to, l)] = -1.0;
+        }
+        a
+    }
+
+    /// Validates a reactance vector against this network.
+    ///
+    /// # Errors
+    ///
+    /// * [`GridError::DimensionMismatch`] on wrong length.
+    /// * [`GridError::InvalidReactance`] for non-positive entries.
+    pub fn check_reactances(&self, x: &[f64]) -> Result<(), GridError> {
+        if x.len() != self.n_branches() {
+            return Err(GridError::DimensionMismatch {
+                what: "reactances",
+                expected: self.n_branches(),
+                actual: x.len(),
+            });
+        }
+        for (l, &xl) in x.iter().enumerate() {
+            if !(xl.is_finite() && xl > 0.0) {
+                return Err(GridError::InvalidReactance {
+                    branch: l,
+                    value: xl,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Branch susceptances `b_l = base_mva / x_l` (MW/rad) for the given
+    /// reactances.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::check_reactances`].
+    pub fn susceptances(&self, x: &[f64]) -> Result<Vec<f64>, GridError> {
+        self.check_reactances(x)?;
+        Ok(x.iter().map(|&xl| self.base_mva / xl).collect())
+    }
+
+    /// Full nodal susceptance matrix `B = A D Aᵀ ∈ R^{N×N}` (MW/rad).
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::check_reactances`].
+    pub fn b_matrix(&self, x: &[f64]) -> Result<Matrix, GridError> {
+        let b = self.susceptances(x)?;
+        let n = self.n_buses();
+        let mut m = Matrix::zeros(n, n);
+        for (l, br) in self.branches.iter().enumerate() {
+            let (i, j) = (br.from, br.to);
+            m[(i, i)] += b[l];
+            m[(j, j)] += b[l];
+            m[(i, j)] -= b[l];
+            m[(j, i)] -= b[l];
+        }
+        Ok(m)
+    }
+
+    /// Reduced susceptance matrix: `B` with the slack row and column
+    /// removed — the invertible operator of the DC power-flow equations.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::check_reactances`].
+    pub fn b_reduced(&self, x: &[f64]) -> Result<Matrix, GridError> {
+        Ok(self
+            .b_matrix(x)?
+            .without_row(self.slack)
+            .without_col(self.slack))
+    }
+
+    /// DC measurement matrix `H ∈ R^{M×(N−1)}` mapping the reduced state
+    /// (non-slack phase angles) to measurements
+    /// `z = [f; −f; p]` (forward branch flows, reverse branch flows, nodal
+    /// injections), i.e. `H = [D Aᵀ; −D Aᵀ; A D Aᵀ]` with the slack column
+    /// removed (paper Section III).
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::check_reactances`].
+    pub fn measurement_matrix(&self, x: &[f64]) -> Result<Matrix, GridError> {
+        let b = self.susceptances(x)?;
+        let n = self.n_buses();
+        let nl = self.n_branches();
+        let mut h = Matrix::zeros(2 * nl + n, n);
+        // forward flows: f_l = b_l (θ_from − θ_to)
+        for (l, br) in self.branches.iter().enumerate() {
+            h[(l, br.from)] = b[l];
+            h[(l, br.to)] = -b[l];
+            // reverse flows
+            h[(nl + l, br.from)] = -b[l];
+            h[(nl + l, br.to)] = b[l];
+        }
+        // injections: p = A D Aᵀ θ = B θ
+        for (l, br) in self.branches.iter().enumerate() {
+            let (i, j) = (br.from, br.to);
+            h[(2 * nl + i, i)] += b[l];
+            h[(2 * nl + i, j)] -= b[l];
+            h[(2 * nl + j, j)] += b[l];
+            h[(2 * nl + j, i)] -= b[l];
+        }
+        Ok(h.without_col(self.slack))
+    }
+
+    /// Nodal net injections `p = Σ(generation at bus) − load` for a given
+    /// dispatch vector (one entry per generator, MW).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::DimensionMismatch`] if `dispatch.len()` differs
+    /// from the generator count.
+    pub fn injections(&self, dispatch: &[f64]) -> Result<Vec<f64>, GridError> {
+        if dispatch.len() != self.n_gens() {
+            return Err(GridError::DimensionMismatch {
+                what: "dispatch",
+                expected: self.n_gens(),
+                actual: dispatch.len(),
+            });
+        }
+        let mut p: Vec<f64> = self.buses.iter().map(|b| -b.load_mw).collect();
+        for (g, &d) in self.gens.iter().zip(dispatch.iter()) {
+            p[g.bus] += d;
+        }
+        Ok(p)
+    }
+
+    /// Breadth-first connectivity check over the branch graph.
+    pub fn is_connected(&self) -> bool {
+        let n = self.n_buses();
+        if n == 0 {
+            return false;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for br in &self.branches {
+            adj[br.from].push(br.to);
+            adj[br.to].push(br.from);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GenCost;
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny3",
+            vec![Bus::unloaded(), Bus::with_load(50.0), Bus::with_load(30.0)],
+            vec![
+                Branch::new(0, 1, 0.1, 100.0).with_dfacts(),
+                Branch::new(1, 2, 0.2, 100.0),
+                Branch::new(0, 2, 0.25, 100.0),
+            ],
+            vec![Generator::linear(0, 200.0, 10.0)],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let n = tiny();
+        assert_eq!(n.n_buses(), 3);
+        assert_eq!(n.n_branches(), 3);
+        assert_eq!(n.n_gens(), 1);
+        assert_eq!(n.n_measurements(), 9);
+        assert_eq!(n.n_states(), 2);
+        assert_eq!(n.slack(), 0);
+        assert_eq!(n.total_load(), 80.0);
+        assert_eq!(n.dfacts_branches(), vec![0]);
+        assert!(matches!(n.gen(0).cost, GenCost::Linear { c } if c == 10.0));
+    }
+
+    #[test]
+    fn incidence_has_unit_entries() {
+        let a = tiny().incidence();
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 0)], -1.0);
+        assert_eq!(a[(2, 0)], 0.0);
+        // column sums are zero
+        for l in 0..3 {
+            let s: f64 = (0..3).map(|i| a[(i, l)]).sum();
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn b_matrix_rows_sum_to_zero() {
+        let net = tiny();
+        let b = net.b_matrix(&net.nominal_reactances()).unwrap();
+        for i in 0..3 {
+            let s: f64 = (0..3).map(|j| b[(i, j)]).sum();
+            assert!(s.abs() < 1e-9);
+        }
+        assert!(b.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn measurement_matrix_structure() {
+        let net = tiny();
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        assert_eq!(h.shape(), (9, 2));
+        // reverse-flow block is the negative of the forward block
+        for l in 0..3 {
+            for c in 0..2 {
+                assert_eq!(h[(l, c)], -h[(3 + l, c)]);
+            }
+        }
+        // injection block equals B with slack column removed
+        let b = net.b_matrix(&x).unwrap().without_col(0);
+        for i in 0..3 {
+            for c in 0..2 {
+                assert!((h[(6 + i, c)] - b[(i, c)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_matrix_has_full_column_rank() {
+        let net = tiny();
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        assert_eq!(gridmtd_linalg::Svd::compute(&h).unwrap().rank(), 2);
+    }
+
+    #[test]
+    fn injections_subtract_loads() {
+        let net = tiny();
+        let p = net.injections(&[80.0]).unwrap();
+        assert_eq!(p, vec![80.0, -50.0, -30.0]);
+        assert!(net.injections(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn reactance_bounds_only_relax_dfacts_lines() {
+        let net = tiny();
+        let (lo, hi) = net.reactance_bounds(0.5);
+        assert!((lo[0] - 0.05).abs() < 1e-12 && (hi[0] - 0.15).abs() < 1e-12);
+        assert_eq!(lo[1], hi[1]);
+        assert_eq!(lo[2], hi[2]);
+    }
+
+    #[test]
+    fn with_loads_and_scale_loads() {
+        let net = tiny();
+        let scaled = net.scale_loads(2.0);
+        assert_eq!(scaled.total_load(), 160.0);
+        let reloaded = net.with_loads(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(reloaded.total_load(), 6.0);
+        assert!(net.with_loads(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        // bad branch endpoint
+        let err = Network::new(
+            "bad",
+            vec![Bus::unloaded(), Bus::unloaded()],
+            vec![Branch::new(0, 5, 0.1, 10.0)],
+            vec![Generator::linear(0, 1.0, 1.0)],
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GridError::InvalidBusIndex { bus: 5, .. }));
+
+        // bad reactance
+        let err = Network::new(
+            "bad",
+            vec![Bus::unloaded(), Bus::unloaded()],
+            vec![Branch::new(0, 1, -0.1, 10.0)],
+            vec![Generator::linear(0, 1.0, 1.0)],
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GridError::InvalidReactance { .. }));
+
+        // disconnected
+        let err = Network::new(
+            "bad",
+            vec![Bus::unloaded(), Bus::unloaded(), Bus::unloaded()],
+            vec![Branch::new(0, 1, 0.1, 10.0)],
+            vec![Generator::linear(0, 1.0, 1.0)],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, GridError::Disconnected);
+
+        // no generators
+        let err = Network::new(
+            "bad",
+            vec![Bus::unloaded(), Bus::unloaded()],
+            vec![Branch::new(0, 1, 0.1, 10.0)],
+            vec![],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, GridError::NoGenerators);
+    }
+
+    #[test]
+    fn check_reactances_validates_length_and_sign() {
+        let net = tiny();
+        assert!(net.check_reactances(&[0.1, 0.2]).is_err());
+        assert!(net.check_reactances(&[0.1, 0.2, -0.1]).is_err());
+        assert!(net.check_reactances(&[0.1, 0.2, 0.3]).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain data types describing network components.
+
+use serde::{Deserialize, Serialize};
+
+/// A network bus (node).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bus {
+    /// Real-power load at this bus, MW.
+    pub load_mw: f64,
+}
+
+impl Bus {
+    /// Creates a bus with the given load.
+    pub fn with_load(load_mw: f64) -> Bus {
+        Bus { load_mw }
+    }
+
+    /// Creates a bus with no load.
+    pub fn unloaded() -> Bus {
+        Bus { load_mw: 0.0 }
+    }
+}
+
+/// A transmission line (branch) between two buses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Branch {
+    /// Index of the *from* bus (tail of the conventional flow direction).
+    pub from: usize,
+    /// Index of the *to* bus.
+    pub to: usize,
+    /// Nominal series reactance, per unit.
+    pub reactance_pu: f64,
+    /// Thermal flow limit, MW (applies to |flow|).
+    pub flow_limit_mw: f64,
+    /// Whether a D-FACTS device is installed on this line, i.e. whether its
+    /// reactance can be actively perturbed for MTD.
+    pub dfacts: bool,
+}
+
+impl Branch {
+    /// Creates a branch without a D-FACTS device.
+    pub fn new(from: usize, to: usize, reactance_pu: f64, flow_limit_mw: f64) -> Branch {
+        Branch {
+            from,
+            to,
+            reactance_pu,
+            flow_limit_mw,
+            dfacts: false,
+        }
+    }
+
+    /// Marks the branch as D-FACTS equipped (builder style).
+    pub fn with_dfacts(mut self) -> Branch {
+        self.dfacts = true;
+        self
+    }
+}
+
+/// Generator cost model.
+///
+/// The paper's 14-bus study uses linear costs `C(G) = c·G` (Table IV);
+/// MATPOWER's `case30` ships quadratic costs `C(G) = c₂G² + c₁G`. The OPF
+/// crate linearizes quadratic costs into convex piecewise-linear segments
+/// so both run through the same LP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GenCost {
+    /// `C(G) = c * G`, `c` in $/MWh.
+    Linear {
+        /// Marginal cost, $/MWh.
+        c: f64,
+    },
+    /// `C(G) = c2 * G² + c1 * G`, `c2` in $/MW²h, `c1` in $/MWh.
+    Quadratic {
+        /// Quadratic coefficient, $/MW²h.
+        c2: f64,
+        /// Linear coefficient, $/MWh.
+        c1: f64,
+    },
+}
+
+impl GenCost {
+    /// Evaluates the cost of producing `g` MW for one hour.
+    pub fn eval(&self, g: f64) -> f64 {
+        match *self {
+            GenCost::Linear { c } => c * g,
+            GenCost::Quadratic { c2, c1 } => c2 * g * g + c1 * g,
+        }
+    }
+
+    /// Marginal cost `dC/dG` at output `g`.
+    pub fn marginal(&self, g: f64) -> f64 {
+        match *self {
+            GenCost::Linear { c } => c,
+            GenCost::Quadratic { c2, c1 } => 2.0 * c2 * g + c1,
+        }
+    }
+}
+
+/// A dispatchable generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Generator {
+    /// Bus the generator is connected to.
+    pub bus: usize,
+    /// Minimum output, MW.
+    pub pmin_mw: f64,
+    /// Maximum output, MW.
+    pub pmax_mw: f64,
+    /// Cost model.
+    pub cost: GenCost,
+}
+
+impl Generator {
+    /// Creates a generator with linear cost and `pmin = 0`.
+    pub fn linear(bus: usize, pmax_mw: f64, cost_per_mwh: f64) -> Generator {
+        Generator {
+            bus,
+            pmin_mw: 0.0,
+            pmax_mw,
+            cost: GenCost::Linear { c: cost_per_mwh },
+        }
+    }
+
+    /// Creates a generator with quadratic cost and `pmin = 0`.
+    pub fn quadratic(bus: usize, pmax_mw: f64, c2: f64, c1: f64) -> Generator {
+        Generator {
+            bus,
+            pmin_mw: 0.0,
+            pmax_mw,
+            cost: GenCost::Quadratic { c2, c1 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_cost_eval_and_marginal() {
+        let c = GenCost::Linear { c: 20.0 };
+        assert_eq!(c.eval(350.0), 7000.0);
+        assert_eq!(c.marginal(123.0), 20.0);
+    }
+
+    #[test]
+    fn quadratic_cost_eval_and_marginal() {
+        let c = GenCost::Quadratic { c2: 0.02, c1: 2.0 };
+        assert!((c.eval(10.0) - (0.02 * 100.0 + 20.0)).abs() < 1e-12);
+        assert!((c.marginal(10.0) - (0.4 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_builder_flags_dfacts() {
+        let b = Branch::new(0, 1, 0.1, 60.0);
+        assert!(!b.dfacts);
+        assert!(b.with_dfacts().dfacts);
+    }
+
+    #[test]
+    fn generator_constructors_default_pmin_zero() {
+        let g = Generator::linear(3, 100.0, 25.0);
+        assert_eq!(g.pmin_mw, 0.0);
+        assert_eq!(g.bus, 3);
+        let q = Generator::quadratic(1, 80.0, 0.02, 2.0);
+        assert!(matches!(q.cost, GenCost::Quadratic { .. }));
+    }
+}

@@ -1,0 +1,116 @@
+//! Small empirical-statistics helpers for Monte-Carlo post-processing.
+
+/// Sample mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() as f64 - 1.0)
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Empirical quantile (linear interpolation between order statistics).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (sorted.len() as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Fraction of samples for which `pred` holds.
+pub fn fraction_where<F: Fn(f64) -> bool>(xs: &[f64], pred: F) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| pred(x)).count() as f64 / xs.len() as f64
+}
+
+/// Half-width of the normal-approximation 95% confidence interval for a
+/// Bernoulli proportion estimated from `n` trials.
+pub fn proportion_ci_halfwidth(p_hat: f64, n: usize) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    1.96 * (p_hat * (1.0 - p_hat) / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_counts_predicate() {
+        let xs = [0.1, 0.5, 0.9, 0.95];
+        assert_eq!(fraction_where(&xs, |x| x >= 0.9), 0.5);
+        assert_eq!(fraction_where(&[], |_| true), 0.0);
+    }
+
+    #[test]
+    fn ci_halfwidth_shrinks_with_n() {
+        let w100 = proportion_ci_halfwidth(0.5, 100);
+        let w10000 = proportion_ci_halfwidth(0.5, 10_000);
+        assert!((w100 / w10000 - 10.0).abs() < 1e-9);
+        assert_eq!(proportion_ci_halfwidth(0.5, 0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

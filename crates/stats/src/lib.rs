@@ -1,0 +1,31 @@
+//! Probability and statistics substrate for the `gridmtd` workspace.
+//!
+//! Implements exactly the distribution theory the paper's analysis needs:
+//!
+//! * [`gamma`] — log-gamma and regularized incomplete gamma functions,
+//! * [`chi2`] — central χ² (BDD threshold calibration for a target
+//!   false-positive rate) and **noncentral χ²** (closed-form attack
+//!   detection probabilities per Appendix B of Lakshminarayana & Yau,
+//!   DSN 2018),
+//! * [`normal`] — Gaussian density/CDF and sampling for measurement noise,
+//! * [`empirical`] — Monte-Carlo post-processing helpers.
+//!
+//! # Example: BDD threshold and detection probability
+//!
+//! ```
+//! use gridmtd_stats::chi2::{ChiSquared, NoncentralChiSquared};
+//!
+//! // 54 measurements, 13 states -> 41 residual degrees of freedom.
+//! let h0 = ChiSquared::new(41.0);
+//! let tau_sq = h0.inv_cdf(1.0 - 5e-4); // α = 5e-4 like the paper
+//!
+//! // An FDI attack with residual noncentrality λ = 60 is detected with
+//! // probability:
+//! let pd = gridmtd_stats::chi2::NoncentralChiSquared::new(41.0, 60.0).sf(tau_sq);
+//! assert!(pd > 0.5);
+//! ```
+
+pub mod chi2;
+pub mod empirical;
+pub mod gamma;
+pub mod normal;

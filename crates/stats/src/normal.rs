@@ -1,0 +1,100 @@
+//! Standard normal distribution and Gaussian sampling.
+//!
+//! Sensor noise in the paper is i.i.d. Gaussian; this module provides the
+//! density/CDF of the standard normal and Marsaglia polar sampling on top
+//! of any [`rand::Rng`].
+
+use rand::Rng;
+
+use crate::gamma::{erf, erfc};
+
+/// Standard normal probability density.
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal survival function `1 − Φ(x)` with tail precision.
+pub fn sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Draws one standard-normal variate using the Marsaglia polar method.
+pub fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Fills a vector with `n` i.i.d. `N(0, sigma²)` samples.
+///
+/// # Panics
+///
+/// Panics if `sigma < 0`.
+pub fn sample_vector<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<f64> {
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    (0..n).map(|_| sigma * sample_standard(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-10);
+        assert!((cdf(-1.959_963_984_540_054) - 0.025).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sf_is_complement_with_tail_precision() {
+        assert!((sf(0.0) - 0.5).abs() < 1e-15);
+        // sf(6) = 9.865876e-10; 1-cdf would keep only ~6 digits.
+        assert!((sf(6.0) / 9.865_876_450_376_946e-10 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-15);
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let xs = sample_vector(&mut rng, n, 2.0);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_cdf_matches_analytic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let xs = sample_vector(&mut rng, n, 1.0);
+        let below = xs.iter().filter(|&&x| x < 1.0).count() as f64 / n as f64;
+        assert!((below - cdf(1.0)).abs() < 0.01, "empirical {below}");
+    }
+
+    #[test]
+    fn zero_sigma_gives_zero_vector() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs = sample_vector(&mut rng, 10, 0.0);
+        assert!(xs.iter().all(|&x| x == 0.0));
+    }
+}

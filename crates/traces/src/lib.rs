@@ -1,0 +1,14 @@
+//! Load traces for time-varying simulations.
+//!
+//! The paper drives its dynamic-load experiments (Figs. 9–11) with the
+//! NYISO hourly load trace of 25-Jan-2016. That dataset is not
+//! redistributable here, so [`nyiso_winter_weekday`] provides a
+//! deterministic synthetic winter-weekday profile with the same
+//! qualitative structure the experiments depend on (see `DESIGN.md`):
+//! an overnight trough, a morning ramp, a midday plateau and an evening
+//! peak at 6–7 PM, with strong hour-to-hour correlation. The trace is
+//! expressed as *scaling factors* that multiply a case's nominal loads.
+
+mod trace;
+
+pub use trace::{nyiso_winter_weekday, LoadTrace};

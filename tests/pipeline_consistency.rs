@@ -1,0 +1,111 @@
+//! Cross-crate consistency checks: the same physics must emerge whether
+//! computed through the power-flow, OPF, estimation or attack crates.
+
+use gridmtd::estimation::{BadDataDetector, NoiseModel, StateEstimator};
+use gridmtd::linalg::vector;
+use gridmtd::opf::{solve_opf, OpfOptions};
+use gridmtd::powergrid::{cases, dcpf, MeasurementLayout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn opf_flows_satisfy_power_flow_physics() {
+    for net in [cases::case4(), cases::case14(), cases::case30()] {
+        let x = net.nominal_reactances();
+        let sol = solve_opf(&net, &x, &OpfOptions::default()).unwrap();
+        let pf = dcpf::solve_dispatch(&net, &x, &sol.dispatch).unwrap();
+        assert!(
+            vector::approx_eq(&sol.flows, &pf.flows, 1e-6),
+            "{}: OPF flows disagree with DC-PF",
+            net.name()
+        );
+        // Dispatch balances load exactly.
+        let total: f64 = sol.dispatch.iter().sum();
+        assert!((total - net.total_load()).abs() < 1e-5, "{}", net.name());
+    }
+}
+
+#[test]
+fn measurement_layout_matches_vector_construction() {
+    let net = cases::case14();
+    let x = net.nominal_reactances();
+    let dispatch = [150.0, 40.0, 20.0, 30.0, 19.0];
+    let pf = dcpf::solve_dispatch(&net, &x, &dispatch).unwrap();
+    let z = pf.measurement_vector();
+    let layout = MeasurementLayout::for_network(&net);
+    for l in 0..net.n_branches() {
+        assert_eq!(z[layout.forward_flow(l)], pf.flows[l]);
+        assert_eq!(z[layout.reverse_flow(l)], -pf.flows[l]);
+    }
+    for i in 0..net.n_buses() {
+        assert!((z[layout.injection(i)] - pf.injections[i]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn estimator_recovers_state_through_noise() {
+    let net = cases::case30();
+    let x = net.nominal_reactances();
+    let sol = solve_opf(&net, &x, &OpfOptions::default()).unwrap();
+    let pf = dcpf::solve_dispatch(&net, &x, &sol.dispatch).unwrap();
+    let z_true = pf.measurement_vector();
+    let h = net.measurement_matrix(&x).unwrap();
+    let noise = NoiseModel::uniform(h.rows(), 0.2);
+    let est = StateEstimator::new(h, &noise).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let z = noise.corrupt(&z_true, &mut rng);
+    let theta_hat = est.estimate(&z).unwrap();
+    let theta_true: Vec<f64> = pf
+        .theta
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &t)| (i != net.slack()).then_some(t))
+        .collect();
+    // With 112 measurements over 29 states, noise averages down hard.
+    for (a, b) in theta_hat.iter().zip(theta_true.iter()) {
+        assert!((a - b).abs() < 2e-3, "state error {a} vs {b}");
+    }
+}
+
+#[test]
+fn bdd_false_positive_rate_matches_alpha_cross_crate() {
+    let net = cases::case4();
+    let x = net.nominal_reactances();
+    let sol = solve_opf(&net, &x, &OpfOptions::default()).unwrap();
+    let pf = dcpf::solve_dispatch(&net, &x, &sol.dispatch).unwrap();
+    let z_true = pf.measurement_vector();
+    let h = net.measurement_matrix(&x).unwrap();
+    let noise = NoiseModel::uniform(h.rows(), 0.5);
+    let bdd = BadDataDetector::new(StateEstimator::new(h, &noise).unwrap(), 0.02);
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let trials = 30_000;
+    let mut alarms = 0;
+    for _ in 0..trials {
+        if bdd.test(&noise.corrupt(&z_true, &mut rng)).unwrap().alarm {
+            alarms += 1;
+        }
+    }
+    let fp = alarms as f64 / trials as f64;
+    assert!((fp - 0.02).abs() < 0.005, "fp = {fp}");
+}
+
+#[test]
+fn per_unit_and_mw_measurement_matrices_have_identical_geometry() {
+    // Column-space geometry (and hence every MTD metric) must be
+    // invariant to the MW-vs-per-unit scaling convention.
+    let net = cases::case14();
+    let x = net.nominal_reactances();
+    let h_mw = net.measurement_matrix(&x).unwrap();
+    let h_pu = h_mw.scale(1.0 / net.base_mva());
+    let mut x2 = x.clone();
+    for l in net.dfacts_branches() {
+        x2[l] *= 1.35;
+    }
+    let h2_mw = net.measurement_matrix(&x2).unwrap();
+    let h2_pu = h2_mw.scale(1.0 / net.base_mva());
+    let g_mw = gridmtd::mtd::spa::gamma(&h_mw, &h2_mw).unwrap();
+    let g_pu = gridmtd::mtd::spa::gamma(&h_pu, &h2_pu).unwrap();
+    assert!((g_mw - g_pu).abs() < 1e-10);
+}

@@ -1,0 +1,107 @@
+//! Cross-crate property-based tests on randomly generated grids.
+
+use gridmtd::linalg::vector;
+use gridmtd::mtd::{spa, theory};
+use gridmtd::powergrid::cases::{synthetic, SyntheticConfig};
+use gridmtd::powergrid::dcpf;
+use proptest::prelude::*;
+use std::f64::consts::FRAC_PI_2;
+
+fn net_strategy() -> impl Strategy<Value = gridmtd::powergrid::Network> {
+    (5usize..30, 0u64..1000).prop_map(|(n, seed)| {
+        synthetic(
+            &SyntheticConfig {
+                n_buses: n,
+                ..SyntheticConfig::default()
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn measurement_matrix_has_full_column_rank(net in net_strategy()) {
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        let rank = gridmtd::linalg::Svd::compute(&h).unwrap().rank();
+        prop_assert_eq!(rank, net.n_states());
+    }
+
+    #[test]
+    fn power_flow_conserves_energy(net in net_strategy(), scale in 0.2..1.0f64) {
+        // Dispatch all generators proportionally to cover scaled load.
+        let total = net.total_load() * scale;
+        let cap: f64 = net.gens().iter().map(|g| g.pmax_mw).sum();
+        let dispatch: Vec<f64> = net.gens().iter().map(|g| g.pmax_mw / cap * total).collect();
+        let net_scaled = net.scale_loads(scale);
+        let pf = dcpf::solve_dispatch(&net_scaled, &net.nominal_reactances(), &dispatch).unwrap();
+        // Injections sum to zero and per-bus flow balance holds.
+        prop_assert!(pf.injections.iter().sum::<f64>().abs() < 1e-6);
+        let mut balance = vec![0.0; net.n_buses()];
+        for (l, br) in net.branches().iter().enumerate() {
+            balance[br.from] += pf.flows[l];
+            balance[br.to] -= pf.flows[l];
+        }
+        for (b, p) in balance.iter().zip(pf.injections.iter()) {
+            prop_assert!((b - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stealthy_attacks_are_undetectable_without_mtd(net in net_strategy(),
+                                                     c_seed in 0u64..100) {
+        let h = net.measurement_matrix(&net.nominal_reactances()).unwrap();
+        let c: Vec<f64> = (0..h.cols())
+            .map(|i| ((c_seed as f64 + 1.0) * (i as f64 + 1.0) * 0.37).sin() * 0.01)
+            .collect();
+        let a = h.matvec(&c).unwrap();
+        if vector::norm2(&a) > 1e-9 {
+            prop_assert!(theory::is_undetectable(&h, &a).unwrap());
+            prop_assert!(theory::noiseless_residual(&h, &a).unwrap() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gamma_is_well_behaved_under_random_perturbations(net in net_strategy(),
+                                                        eta in 0.05..0.5f64) {
+        let x0 = net.nominal_reactances();
+        let h0 = net.measurement_matrix(&x0).unwrap();
+        let mut x1 = x0.clone();
+        for (k, l) in net.dfacts_branches().into_iter().enumerate() {
+            x1[l] *= if k % 2 == 0 { 1.0 + eta } else { 1.0 - eta };
+        }
+        let h1 = net.measurement_matrix(&x1).unwrap();
+        let g = spa::gamma(&h0, &h1).unwrap();
+        prop_assert!((0.0..=FRAC_PI_2 + 1e-9).contains(&g));
+        // Uniform scaling of all reactances leaves the space unchanged.
+        let x_scaled: Vec<f64> = x0.iter().map(|v| v * (1.0 + eta)).collect();
+        let h_scaled = net.measurement_matrix(&x_scaled).unwrap();
+        prop_assert!(spa::gamma(&h0, &h_scaled).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn undetectable_iff_residual_zero(net in net_strategy(), eta in 0.1..0.5f64) {
+        let x0 = net.nominal_reactances();
+        let h0 = net.measurement_matrix(&x0).unwrap();
+        let dfacts = net.dfacts_branches();
+        if dfacts.is_empty() {
+            return Ok(());
+        }
+        let mut x1 = x0.clone();
+        x1[dfacts[0]] *= 1.0 + eta;
+        let h1 = net.measurement_matrix(&x1).unwrap();
+        // Probe a handful of unit state offsets.
+        for i in 0..h0.cols().min(5) {
+            let mut c = vec![0.0; h0.cols()];
+            c[i] = 1.0;
+            let a = h0.matvec(&c).unwrap();
+            let undetectable = theory::is_undetectable(&h1, &a).unwrap();
+            let residual = theory::noiseless_residual(&h1, &a).unwrap();
+            let relative = residual / vector::norm2(&a).max(1e-12);
+            prop_assert_eq!(undetectable, relative < 1e-6,
+                "rank test and residual disagree: rel={}", relative);
+        }
+    }
+}
