@@ -138,4 +138,3 @@ mod tests {
         );
     }
 }
-

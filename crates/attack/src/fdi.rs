@@ -59,7 +59,9 @@ impl FdiAttack {
         );
         let z_norm = vector::norm1(z_ref);
         assert!(z_norm > 0.0, "reference measurement vector is zero");
-        let c: Vec<f64> = (0..h.cols()).map(|_| normal::sample_standard(rng)).collect();
+        let c: Vec<f64> = (0..h.cols())
+            .map(|_| normal::sample_standard(rng))
+            .collect();
         let mut attack = FdiAttack::from_state_offset(h, &c)?;
         let a_norm = vector::norm1(&attack.vector);
         if a_norm > 0.0 {

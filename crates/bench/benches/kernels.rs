@@ -29,7 +29,11 @@ fn bench_gamma(c: &mut Criterion) {
 fn bench_dcpf(c: &mut Criterion) {
     let mut group = c.benchmark_group("dc_power_flow");
     for (name, net, dispatch) in [
-        ("case14", cases::case14(), vec![150.0, 40.0, 20.0, 30.0, 19.0]),
+        (
+            "case14",
+            cases::case14(),
+            vec![150.0, 40.0, 20.0, 30.0, 19.0],
+        ),
         (
             "case30",
             cases::case30(),

@@ -42,14 +42,8 @@ fn bench_effectiveness(c: &mut Criterion) {
     }
     c.bench_function("effectiveness_eval/case14_100attacks", |b| {
         b.iter(|| {
-            effectiveness::evaluate_with_attacks(
-                black_box(&net),
-                &x_pre,
-                &x_post,
-                &attacks,
-                &cfg,
-            )
-            .unwrap()
+            effectiveness::evaluate_with_attacks(black_box(&net), &x_pre, &x_post, &attacks, &cfg)
+                .unwrap()
         })
     });
 }

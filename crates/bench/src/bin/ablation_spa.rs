@@ -42,14 +42,8 @@ fn main() -> Result<(), MtdError> {
     let mut rows = Vec::new();
     for (i, a) in attacks.iter().take(8).enumerate() {
         let analytic = bdd.detection_probability(&a.vector)?;
-        let mc = effectiveness::monte_carlo_detection(
-            &net,
-            &x_post,
-            &opf_post.dispatch,
-            a,
-            2000,
-            &cfg,
-        )?;
+        let mc =
+            effectiveness::monte_carlo_detection(&net, &x_post, &opf_post.dispatch, a, 2000, &cfg)?;
         worst_gap = worst_gap.max((analytic - mc).abs());
         rows.push(vec![
             format!("{i}"),
@@ -76,7 +70,11 @@ fn main() -> Result<(), MtdError> {
         "residual bound: max ||r'_a||/||a|| = {:.4} <= sin(gamma) = {:.4}  [{}]",
         worst_ratio,
         gamma.sin(),
-        if worst_ratio <= gamma.sin() + 1e-9 { "HOLDS" } else { "VIOLATED" }
+        if worst_ratio <= gamma.sin() + 1e-9 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     println!();
 
@@ -113,6 +111,8 @@ fn main() -> Result<(), MtdError> {
     }
     let spearman = num / (den_a.sqrt() * den_b.sqrt());
     println!("Spearman correlation of gamma vs mean detection over 40 random");
-    println!("perturbations: {spearman:.3}  (the Section V-C conjecture predicts strongly positive)");
+    println!(
+        "perturbations: {spearman:.3}  (the Section V-C conjecture predicts strongly positive)"
+    );
     Ok(())
 }

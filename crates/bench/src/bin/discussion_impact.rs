@@ -46,9 +46,7 @@ fn main() -> Result<(), MtdError> {
     let sel = selection::select_mtd(&net, &x_pre, 0.2, &cfg)?;
     let base = gridmtd_opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
     let premium = 100.0 * (sel.opf.cost - base.cost).max(0.0) / base.cost;
-    println!(
-        "MTD premium at gamma >= 0.2 (eta'(0.9) ~ 0.9+ per Fig. 6a): {premium:.2}%"
-    );
+    println!("MTD premium at gamma >= 0.2 (eta'(0.9) ~ 0.9+ per Fig. 6a): {premium:.2}%");
     println!();
     println!("paper: undetected attacks can cost up to 28% (and trip lines), while");
     println!("the MTD premium stays in the low single digits — the insurance is cheap");

@@ -42,7 +42,11 @@ fn main() -> Result<(), MtdError> {
                 report::f(o.gamma_current, 3),
                 report::f(o.gamma_threshold, 2),
                 report::f(o.effectiveness, 3),
-                if o.target_met { "yes".into() } else { "NO".into() },
+                if o.target_met {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();

@@ -27,7 +27,10 @@ fn main() -> Result<(), MtdError> {
     let opf_pre = gridmtd_opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
     let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf_pre.dispatch, &cfg)?;
     let (_, ceiling) = selection::max_achievable_gamma(&net, &x_pre, &cfg)?;
-    println!("attainable gamma ceiling: {:.3} rad (paper sweeps to 0.45)", ceiling);
+    println!(
+        "attainable gamma ceiling: {:.3} rad (paper sweeps to 0.45)",
+        ceiling
+    );
     println!();
 
     let deltas = [0.5, 0.8, 0.9, 0.95];
@@ -36,8 +39,13 @@ fn main() -> Result<(), MtdError> {
     while gamma_th <= ceiling + 1e-9 {
         match selection::select_mtd(&net, &x_pre, gamma_th, &cfg) {
             Ok(sel) => {
-                let eval =
-                    effectiveness::evaluate_with_attacks(&net, &x_pre, &sel.x_post, &attacks, &cfg)?;
+                let eval = effectiveness::evaluate_with_attacks(
+                    &net,
+                    &x_pre,
+                    &sel.x_post,
+                    &attacks,
+                    &cfg,
+                )?;
                 let mut row = vec![report::f(gamma_th, 2), report::f(eval.gamma, 3)];
                 for &d in &deltas {
                     row.push(report::f(eval.effectiveness(d), 3));
@@ -50,7 +58,14 @@ fn main() -> Result<(), MtdError> {
         gamma_th += 0.05;
     }
     report::table(
-        &["g_th", "g_ach", "eta(0.50)", "eta(0.80)", "eta(0.90)", "eta(0.95)"],
+        &[
+            "g_th",
+            "g_ach",
+            "eta(0.50)",
+            "eta(0.80)",
+            "eta(0.90)",
+            "eta(0.95)",
+        ],
         &rows,
     );
     println!();

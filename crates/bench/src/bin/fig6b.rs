@@ -30,7 +30,11 @@ fn main() -> Result<(), MtdError> {
         match selection::select_mtd(&net, &x_pre, gamma_th, &cfg) {
             Ok(sel) => {
                 let eval = effectiveness::evaluate_with_attacks(
-                    &net, &x_pre, &sel.x_post, &attacks, &cfg,
+                    &net,
+                    &x_pre,
+                    &sel.x_post,
+                    &attacks,
+                    &cfg,
                 )?;
                 let mut row = vec![report::f(gamma_th, 2), report::f(eval.gamma, 3)];
                 for &d in &deltas {
@@ -44,7 +48,14 @@ fn main() -> Result<(), MtdError> {
         gamma_th += 0.05;
     }
     report::table(
-        &["g_th", "g_ach", "eta(0.50)", "eta(0.80)", "eta(0.90)", "eta(0.95)"],
+        &[
+            "g_th",
+            "g_ach",
+            "eta(0.50)",
+            "eta(0.80)",
+            "eta(0.90)",
+            "eta(0.95)",
+        ],
         &rows,
     );
     println!();

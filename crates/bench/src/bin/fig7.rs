@@ -33,9 +33,8 @@ fn main() -> Result<(), MtdError> {
     // fractions are reported (see EXPERIMENTS.md).
     for fraction in [0.02, 0.5] {
         println!("random perturbation fraction: +/-{:.0}%", fraction * 100.0);
-        let trials = tradeoff::random_keyspace_study(
-            &net, &x_pre, &attacks, fraction, 5, &deltas, &cfg,
-        )?;
+        let trials =
+            tradeoff::random_keyspace_study(&net, &x_pre, &attacks, fraction, 5, &deltas, &cfg)?;
         let mut headers: Vec<String> = vec!["trial".into(), "gamma".into()];
         headers.extend(deltas.iter().map(|d| format!("d={d:.1}")));
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();

@@ -32,9 +32,8 @@ fn main() -> Result<(), MtdError> {
     // paper's decay shape. Both are reported.
     for fraction in [0.02, 0.5] {
         println!("random perturbation fraction: +/-{:.0}%", fraction * 100.0);
-        let trials = tradeoff::random_keyspace_study(
-            &net, &x_pre, &attacks, fraction, 500, &deltas, &cfg,
-        )?;
+        let trials =
+            tradeoff::random_keyspace_study(&net, &x_pre, &attacks, fraction, 500, &deltas, &cfg)?;
         let mut rows = Vec::new();
         for (k, &d) in deltas.iter().enumerate() {
             let good = trials

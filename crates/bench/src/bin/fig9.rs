@@ -32,7 +32,11 @@ fn main() -> Result<(), MtdError> {
     let deltas = [0.5, 0.8, 0.9, 0.95];
     let curve = tradeoff::tradeoff_sweep(&net_6pm, &x_pre, &thresholds, &deltas, &cfg)?;
 
-    println!("load at 6 PM: {:.1} MW; no-MTD OPF cost: ${:.1}/h", net_6pm.total_load(), curve.baseline_cost);
+    println!(
+        "load at 6 PM: {:.1} MW; no-MTD OPF cost: ${:.1}/h",
+        net_6pm.total_load(),
+        curve.baseline_cost
+    );
     println!("gamma ceiling: {:.3} rad", curve.gamma_ceiling);
     println!();
     let rows: Vec<Vec<String>> = curve
@@ -51,7 +55,15 @@ fn main() -> Result<(), MtdError> {
         })
         .collect();
     report::table(
-        &["g_th", "g_ach", "eta(0.5)", "eta(0.8)", "eta(0.9)", "eta(0.95)", "cost (%)"],
+        &[
+            "g_th",
+            "g_ach",
+            "eta(0.5)",
+            "eta(0.8)",
+            "eta(0.9)",
+            "eta(0.95)",
+            "cost (%)",
+        ],
         &rows,
     );
     println!();

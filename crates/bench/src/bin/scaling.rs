@@ -62,7 +62,14 @@ fn main() -> Result<(), MtdError> {
     }
     report::table(
         &[
-            "buses", "lines", "dfacts", "opf $", "opf ms", "gamma", "gamma ms", "ceiling",
+            "buses",
+            "lines",
+            "dfacts",
+            "opf $",
+            "opf ms",
+            "gamma",
+            "gamma ms",
+            "ceiling",
             "search ms",
         ],
         &rows,

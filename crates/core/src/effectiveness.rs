@@ -35,11 +35,7 @@ impl MtdEvaluation {
         if self.detection_probs.is_empty() {
             return 0.0;
         }
-        let hits = self
-            .detection_probs
-            .iter()
-            .filter(|&&p| p >= delta)
-            .count();
+        let hits = self.detection_probs.iter().filter(|&&p| p >= delta).count();
         hits as f64 / self.detection_probs.len() as f64
     }
 
@@ -207,7 +203,10 @@ mod tests {
             prev_eta = e;
             prev_gamma = eval.gamma;
         }
-        assert!(prev_eta > 0.3, "strong MTD should catch attacks: {prev_eta}");
+        assert!(
+            prev_eta > 0.3,
+            "strong MTD should catch attacks: {prev_eta}"
+        );
     }
 
     #[test]
@@ -237,21 +236,13 @@ mod tests {
         let idx = probs
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
             .map(|(i, _)| i)
             .unwrap();
         let opf_post = gridmtd_opf::solve_opf(&net, &x_post, &cfg.opf_options()).unwrap();
-        let mc = monte_carlo_detection(
-            &net,
-            &x_post,
-            &opf_post.dispatch,
-            &attacks[idx],
-            2500,
-            &cfg,
-        )
-        .unwrap();
+        let mc =
+            monte_carlo_detection(&net, &x_post, &opf_post.dispatch, &attacks[idx], 2500, &cfg)
+                .unwrap();
         assert!(
             (mc - probs[idx]).abs() < 0.05,
             "MC {mc} vs analytic {}",

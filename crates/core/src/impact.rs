@@ -125,8 +125,7 @@ mod tests {
     fn zero_bias_has_zero_damage() {
         let net = cases::case14();
         let cfg = MtdConfig::fast_test();
-        let impact =
-            load_redistribution_impact(&net, &vec![0.0; net.n_buses()], &cfg).unwrap();
+        let impact = load_redistribution_impact(&net, &vec![0.0; net.n_buses()], &cfg).unwrap();
         assert!(impact.relative_damage < 1e-9);
         assert!(impact.overloads.is_empty());
         assert!((impact.honest_cost - impact.attacked_cost).abs() < 1e-6);

@@ -46,9 +46,9 @@
 
 mod config;
 pub mod cost;
-pub mod impact;
 pub mod effectiveness;
 mod error;
+pub mod impact;
 pub mod selection;
 pub mod spa;
 pub mod theory;

@@ -62,11 +62,7 @@ pub fn random_perturbation<R: Rng + ?Sized>(
 }
 
 /// Builds the full reactance vector from a candidate D-FACTS sub-vector.
-fn assemble(
-    x_nominal: &[f64],
-    dfacts: &[usize],
-    candidate: &[f64],
-) -> Vec<f64> {
+fn assemble(x_nominal: &[f64], dfacts: &[usize], candidate: &[f64]) -> Vec<f64> {
     let mut x = x_nominal.to_vec();
     for (k, &l) in dfacts.iter().enumerate() {
         x[l] = candidate[k];
@@ -189,11 +185,11 @@ pub fn select_mtd(
             };
             let deficit = (gamma_th - g).max(0.0);
             let overshoot = (g - gamma_th).max(0.0);
-            cost + penalty_weight * deficit * deficit
-                + proximity_weight * overshoot * overshoot
+            cost + penalty_weight * deficit * deficit + proximity_weight * overshoot * overshoot
         };
-        // A finer initial simplex keeps the warm start (γ = 0) from
-        // leaping far past small thresholds.
+        // Calibrated simplex size for the reactance box: large enough to
+        // move γ off the warm start's 0, small enough not to leap far
+        // past small thresholds.
         let nm = gridmtd_opf::NelderMeadOptions {
             initial_step: 0.12,
             ..cfg.nm_options()

@@ -77,8 +77,7 @@ pub fn orthogonality_condition_holds(
     }
     // Compute H'ᵀ W H and compare to zero, relative to the factor norms.
     let mut wh = h_pre.clone();
-    for i in 0..h_pre.rows() {
-        let w = weights[i];
+    for (i, &w) in weights.iter().enumerate() {
         for v in wh.row_mut(i) {
             *v *= w;
         }
@@ -153,12 +152,14 @@ mod tests {
             let undetectable1 = is_undetectable(&h_post, &attack1).unwrap();
             let undetectable2 = is_undetectable(&h_post, &attack2).unwrap();
             assert_eq!(
-                !undetectable1, expected_detect_1[l],
+                !undetectable1,
+                expected_detect_1[l],
                 "attack 1 vs MTD on line {}",
                 l + 1
             );
             assert_eq!(
-                !undetectable2, expected_detect_2[l],
+                !undetectable2,
+                expected_detect_2[l],
                 "attack 2 vs MTD on line {}",
                 l + 1
             );

@@ -117,8 +117,7 @@ pub fn simulate_day(
         let opf_prev_dispatch = {
             let prev_hour = if hour == 0 { n_hours - 1 } else { hour - 1 };
             let net_prev = net.scale_loads(trace.scaling_factor(prev_hour, nominal_total));
-            gridmtd_opf::solve_opf(&net_prev, &x_prev, &cfg.opf_options())?
-                .dispatch
+            gridmtd_opf::solve_opf(&net_prev, &x_prev, &cfg.opf_options())?.dispatch
         };
         let attacks = effectiveness::build_attack_set(&net_now, &x_prev, &opf_prev_dispatch, cfg)?;
 
@@ -130,8 +129,13 @@ pub fn simulate_day(
                 Err(MtdError::ThresholdUnreachable { .. }) => break,
                 Err(e) => return Err(e),
             };
-            let eval =
-                effectiveness::evaluate_with_attacks(&net_now, &x_prev, &sel.x_post, &attacks, cfg)?;
+            let eval = effectiveness::evaluate_with_attacks(
+                &net_now,
+                &x_prev,
+                &sel.x_post,
+                &attacks,
+                cfg,
+            )?;
             let eta = eval.effectiveness(opts.target_delta);
             let met = eta >= opts.target_eta;
             chosen = Some((gamma_th, sel, eta));
@@ -243,8 +247,6 @@ mod tests {
             assert!(o.cost_increase_percent >= 0.0);
         }
         // Fig. 10: the evening peak is at least as costly as the trough.
-        assert!(
-            outcomes[18].cost_increase_percent >= outcomes[3].cost_increase_percent - 0.05
-        );
+        assert!(outcomes[18].cost_increase_percent >= outcomes[3].cost_increase_percent - 0.05);
     }
 }

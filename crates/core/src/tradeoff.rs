@@ -10,9 +10,7 @@ use gridmtd_attack::FdiAttack;
 use gridmtd_powergrid::Network;
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    cost, effectiveness, selection, spa, MtdConfig, MtdError,
-};
+use crate::{cost, effectiveness, selection, spa, MtdConfig, MtdError};
 
 /// One point of the tradeoff curve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,12 +81,9 @@ pub fn tradeoff_sweep(
             Err(MtdError::ThresholdUnreachable { .. }) => continue,
             Err(e) => return Err(e),
         };
-        let eval =
-            effectiveness::evaluate_with_attacks(net, x_pre, &sel.x_post, &attacks, cfg)?;
-        let effectiveness_grid: Vec<(f64, f64)> = deltas
-            .iter()
-            .map(|&d| (d, eval.effectiveness(d)))
-            .collect();
+        let eval = effectiveness::evaluate_with_attacks(net, x_pre, &sel.x_post, &attacks, cfg)?;
+        let effectiveness_grid: Vec<(f64, f64)> =
+            deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
         points.push(TradeoffPoint {
             gamma_threshold: gamma_th,
             gamma_achieved: sel.gamma,
@@ -175,8 +170,7 @@ mod tests {
         let net = cases::case14();
         let cfg = MtdConfig::fast_test();
         let x0 = net.nominal_reactances();
-        let curve =
-            tradeoff_sweep(&net, &x0, &[0.05, 0.15, 0.22], &[0.5, 0.9], &cfg).unwrap();
+        let curve = tradeoff_sweep(&net, &x0, &[0.05, 0.15, 0.22], &[0.5, 0.9], &cfg).unwrap();
         assert!(curve.points.len() >= 2, "{:?}", curve.points.len());
         // Ceiling from the nominal point is ≈ 0.259 rad (see selection
         // tests for the paper's larger corner-to-corner range).
@@ -192,7 +186,10 @@ mod tests {
         // Effectiveness at the largest threshold beats the smallest.
         let first = curve.points.first().unwrap().eta(0.5).unwrap();
         let last = curve.points.last().unwrap().eta(0.5).unwrap();
-        assert!(last >= first, "η should rise along the sweep: {first}->{last}");
+        assert!(
+            last >= first,
+            "η should rise along the sweep: {first}->{last}"
+        );
     }
 
     #[test]
@@ -212,8 +209,7 @@ mod tests {
         cfg.n_attacks = 120;
         let x0 = net.nominal_reactances();
         let opf = gridmtd_opf::solve_opf(&net, &x0, &cfg.opf_options()).unwrap();
-        let attacks =
-            effectiveness::build_attack_set(&net, &x0, &opf.dispatch, &cfg).unwrap();
+        let attacks = effectiveness::build_attack_set(&net, &x0, &opf.dispatch, &cfg).unwrap();
         let trials =
             random_keyspace_study(&net, &x0, &attacks, 0.02, 20, &[0.5, 0.9], &cfg).unwrap();
         assert_eq!(trials.len(), 20);
@@ -222,10 +218,7 @@ mod tests {
             assert!(t.gamma < 0.05, "gamma {}", t.gamma);
         }
         // ...and (per the paper's Fig. 8) almost none achieve η'(0.9)≥0.9.
-        let good = trials
-            .iter()
-            .filter(|t| t.eta(0.9).unwrap() >= 0.9)
-            .count();
+        let good = trials.iter().filter(|t| t.eta(0.9).unwrap() >= 0.9).count();
         assert!(good <= 2, "random keyspace should rarely be effective");
     }
 

@@ -33,10 +33,16 @@ impl fmt::Display for EstimationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EstimationError::Unobservable => {
-                write!(f, "measurement matrix is column-rank deficient (unobservable)")
+                write!(
+                    f,
+                    "measurement matrix is column-rank deficient (unobservable)"
+                )
             }
             EstimationError::DimensionMismatch { expected, actual } => {
-                write!(f, "measurement vector has length {actual}, expected {expected}")
+                write!(
+                    f,
+                    "measurement vector has length {actual}, expected {expected}"
+                )
             }
             EstimationError::Numerical(e) => write!(f, "numerical failure: {e}"),
         }
@@ -104,8 +110,7 @@ impl StateEstimator {
         }
         let weights = noise.weights();
         let mut wh = h.clone();
-        for i in 0..h.rows() {
-            let w = weights[i];
+        for (i, &w) in weights.iter().enumerate() {
             for v in wh.row_mut(i) {
                 *v *= w;
             }
@@ -183,8 +188,7 @@ impl StateEstimator {
     /// See [`StateEstimator::estimate`].
     pub fn residual_statistic(&self, z: &[f64]) -> Result<f64, EstimationError> {
         let r = self.residual(z)?;
-        Ok(r
-            .iter()
+        Ok(r.iter()
             .zip(self.weights.iter())
             .map(|(ri, wi)| wi * ri * ri)
             .sum())

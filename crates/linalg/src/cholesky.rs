@@ -104,16 +104,16 @@ impl Cholesky {
         // L y = b
         for i in 0..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.l[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.l[(i, j)] * xj;
             }
             x[i] = acc / self.l[(i, i)];
         }
         // Lᵀ x = y
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.l[(j, i)] * xj;
             }
             x[i] = acc / self.l[(i, i)];
         }
@@ -172,8 +172,7 @@ mod tests {
 
     #[test]
     fn solve_agrees_with_lu() {
-        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]).unwrap();
         let b = [1.0, 2.0, 3.0];
         let x_chol = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
         let x_lu = crate::lu::solve(&a, &b).unwrap();

@@ -193,7 +193,9 @@ impl Matrix {
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Returns the transpose.
@@ -253,13 +255,13 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += a * b;
             }
-            out[i] = acc;
+            *out_i = acc;
         }
         Ok(out)
     }
@@ -301,8 +303,8 @@ impl Matrix {
                 if ri == 0.0 {
                     continue;
                 }
-                for j in i..n {
-                    g.data[i * n + j] += ri * row[j];
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    g.data[i * n + j] += ri * rj;
                 }
             }
         }
@@ -571,7 +573,8 @@ impl Sub for &Matrix {
     /// Panics if shapes differ; use [`Matrix::try_sub`] for a checked
     /// version.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.try_sub(rhs).expect("matrix subtraction shape mismatch")
+        self.try_sub(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 

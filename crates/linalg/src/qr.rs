@@ -145,20 +145,20 @@ impl Qr {
 
     /// Applies `Qᵀ` to a vector of length `m`, returning length `m`.
     fn apply_qt(&self, b: &[f64]) -> Vec<f64> {
-        let (m, n) = self.qr.shape();
+        let n = self.qr.cols();
         let mut y = b.to_vec();
         for k in 0..n {
             if self.tau[k] == 0.0 {
                 continue;
             }
             let mut dot = y[k];
-            for i in (k + 1)..m {
-                dot += self.qr[(i, k)] * y[i];
+            for (i, &yi) in y.iter().enumerate().skip(k + 1) {
+                dot += self.qr[(i, k)] * yi;
             }
             let t = self.tau[k] * dot;
             y[k] -= t;
-            for i in (k + 1)..m {
-                y[i] -= t * self.qr[(i, k)];
+            for (i, yi) in y.iter_mut().enumerate().skip(k + 1) {
+                *yi -= t * self.qr[(i, k)];
             }
         }
         y
@@ -185,8 +185,8 @@ impl Qr {
         let scale = self.qr.max_abs().max(1.0);
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.qr[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.qr[(i, j)] * xj;
             }
             let rii = self.qr[(i, i)];
             if rii.abs() <= RANK_TOL * scale {

@@ -37,7 +37,11 @@ pub fn principal_angles(a: &Matrix, b: &Matrix) -> Result<Vec<f64>, LinalgError>
     let q2 = qr::orthonormal_basis(b)?;
     let m = q1.transpose().matmul(&q2)?;
     // SVD needs rows >= cols.
-    let tall = if m.rows() >= m.cols() { m } else { m.transpose() };
+    let tall = if m.rows() >= m.cols() {
+        m
+    } else {
+        m.transpose()
+    };
     let svd = Svd::compute(&tall)?;
     // Clamp to [0, 1]: roundoff can push cosines slightly above 1.
     let mut angles: Vec<f64> = svd
@@ -120,8 +124,7 @@ pub fn weighted_residual_projector(h: &Matrix, w: &[f64]) -> Result<Matrix, Lina
     }
     // WH: scale rows of H by w.
     let mut wh = h.clone();
-    for i in 0..m {
-        let wi = w[i];
+    for (i, &wi) in w.iter().enumerate().take(m) {
         for v in wh.row_mut(i) {
             *v *= wi;
         }
@@ -170,20 +173,8 @@ mod tests {
     fn shared_direction_gives_zero_smallest_angle() {
         // Both subspaces contain e1, so the smallest angle is 0 even though
         // the other directions differ.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[0.0, 0.0],
-            &[0.0, 0.0],
-        ])
-        .unwrap();
-        let b = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 0.0],
-            &[0.0, 1.0],
-            &[0.0, 0.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]).unwrap();
         let angles = principal_angles(&a, &b).unwrap();
         assert!(angles[0].abs() < 1e-7);
         assert!((angles[1] - FRAC_PI_2).abs() < 1e-7);
@@ -229,13 +220,7 @@ mod tests {
 
     #[test]
     fn weighted_projector_idempotent_and_annihilates_col_h() {
-        let h = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.5, 1.0],
-            &[-1.0, 2.0],
-            &[0.0, 1.0],
-        ])
-        .unwrap();
+        let h = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 1.0], &[-1.0, 2.0], &[0.0, 1.0]]).unwrap();
         let w = [1.0, 4.0, 0.25, 2.0];
         let s = weighted_residual_projector(&h, &w).unwrap();
         assert!(s.matmul(&s).unwrap().approx_eq(&s, 1e-10));

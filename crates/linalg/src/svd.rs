@@ -249,12 +249,7 @@ mod tests {
 
     #[test]
     fn u_and_v_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let svd = Svd::compute(&a).unwrap();
         let utu = svd.u().transpose().matmul(svd.u()).unwrap();
         assert!(utu.approx_eq(&Matrix::identity(2), 1e-10));

@@ -62,6 +62,22 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_reconstructs_spd(a in spd_strategy(5)) {
+        // Round-trip fencing for the WLS normal equations: L·Lᵀ must
+        // reproduce the SPD input to near machine precision.
+        let l = Cholesky::factor(&a).unwrap().l();
+        let back = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn cholesky_inverse_roundtrips(a in spd_strategy(4)) {
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let eye = a.matmul(&inv).unwrap();
+        prop_assert!(eye.approx_eq(&Matrix::identity(4), 1e-8));
+    }
+
+    #[test]
     fn qr_reconstructs_and_q_is_orthonormal(a in matrix_strategy(7, 4)) {
         let qr = Qr::factor(&a).unwrap();
         let q = qr.q_thin();
@@ -75,6 +91,29 @@ proptest! {
     fn svd_reconstructs_input(a in matrix_strategy(6, 4)) {
         let svd = Svd::compute(&a).unwrap();
         let us = Matrix::from_fn(6, 4, |i, j| svd.u()[(i, j)] * svd.singular_values()[j]);
+        let back = us.matmul(&svd.v().transpose()).unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_factors_are_orthonormal(a in matrix_strategy(6, 4)) {
+        let svd = Svd::compute(&a).unwrap();
+        if svd.rank() == 4 {
+            let u = svd.u();
+            let utu = u.transpose().matmul(u).unwrap();
+            prop_assert!(utu.approx_eq(&Matrix::identity(4), 1e-8));
+            let v = svd.v();
+            let vtv = v.transpose().matmul(v).unwrap();
+            prop_assert!(vtv.approx_eq(&Matrix::identity(4), 1e-8));
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_spd(a in spd_strategy(5)) {
+        // On SPD inputs the SVD coincides with the eigendecomposition;
+        // U Σ Vᵀ must round-trip to < 1e-8 like the general case.
+        let svd = Svd::compute(&a).unwrap();
+        let us = Matrix::from_fn(5, 5, |i, j| svd.u()[(i, j)] * svd.singular_values()[j]);
         let back = us.matmul(&svd.v().transpose()).unwrap();
         prop_assert!(back.approx_eq(&a, 1e-8));
     }

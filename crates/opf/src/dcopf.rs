@@ -148,9 +148,9 @@ pub fn solve_opf(net: &Network, x: &[f64], options: &OpfOptions) -> Result<OpfSo
 
     // Angle variables for non-slack buses.
     let mut theta_vars = vec![usize::MAX; n];
-    for i in 0..n {
+    for (i, theta_var) in theta_vars.iter_mut().enumerate() {
         if i != slack {
-            theta_vars[i] = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+            *theta_var = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
         }
     }
 
@@ -237,7 +237,11 @@ mod tests {
         assert!((sol.cost - 11_500.0).abs() < 1e-6);
         let expected = [126.56, 173.44, -43.44, -26.56];
         for (l, &e) in expected.iter().enumerate() {
-            assert!((sol.flows[l] - e).abs() < 0.01, "line {l}: {}", sol.flows[l]);
+            assert!(
+                (sol.flows[l] - e).abs() < 0.01,
+                "line {l}: {}",
+                sol.flows[l]
+            );
         }
     }
 
@@ -249,7 +253,11 @@ mod tests {
         let sol = solve_opf_nominal(&net, &OpfOptions::default()).unwrap();
         let total: f64 = sol.dispatch.iter().sum();
         assert!((total - 259.0).abs() < 1e-6, "generation balances load");
-        assert!(sol.dispatch[0] > 150.0, "cheapest unit leads: {:?}", sol.dispatch);
+        assert!(
+            sol.dispatch[0] > 150.0,
+            "cheapest unit leads: {:?}",
+            sol.dispatch
+        );
         // All flows within limits.
         for (l, br) in net.branches().iter().enumerate() {
             assert!(

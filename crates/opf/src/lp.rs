@@ -234,12 +234,12 @@ impl LpProblem {
                 relation: c.relation,
             });
         }
-        for v in 0..n {
-            if let VarMap::Shifted { col, lo } = maps[v] {
-                if self.upper[v].is_finite() {
+        for (&map, &upper) in maps.iter().zip(self.upper.iter()) {
+            if let VarMap::Shifted { col, lo } = map {
+                if upper.is_finite() {
                     rows.push(Row {
                         coeffs: vec![(col, 1.0)],
-                        rhs: self.upper[v] - lo,
+                        rhs: upper - lo,
                         relation: Relation::Le,
                     });
                 }
@@ -249,12 +249,11 @@ impl LpProblem {
         // Standard-form objective.
         let mut cost = vec![0.0; n_cols];
         let mut obj_const = 0.0;
-        for v in 0..n {
-            let cv = self.obj[v];
+        for (&map, &cv) in maps.iter().zip(self.obj.iter()) {
             if cv == 0.0 {
                 continue;
             }
-            match maps[v] {
+            match map {
                 VarMap::Shifted { col, lo } => {
                     cost[col] += cv;
                     obj_const += cv * lo;
@@ -363,9 +362,7 @@ fn simplex_two_phase(a: &[Vec<f64>], b: &[f64], cost: &[f64]) -> Result<Vec<f64>
 
     // Phase 1: minimize sum of artificials.
     let mut phase1_cost = vec![0.0; width - 1];
-    for j in n..n + m {
-        phase1_cost[j] = 1.0;
-    }
+    phase1_cost[n..n + m].fill(1.0);
     let p1 = run_simplex(&mut t, &mut basis, &phase1_cost, n + m)?;
     if p1 > 1e-7 {
         return Err(LpError::Infeasible);
@@ -478,19 +475,19 @@ fn run_simplex(
 
 /// Pivot the tableau on `(row, col)`.
 fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
-    let m = t.len();
-    let width = t[0].len();
     let p = t[row][col];
-    for j in 0..width {
-        t[row][j] /= p;
+    for v in t[row].iter_mut() {
+        *v /= p;
     }
-    for i in 0..m {
-        if i != row {
-            let f = t[i][col];
-            if f != 0.0 {
-                for j in 0..width {
-                    t[i][j] -= f * t[row][j];
-                }
+    // Split-borrow the tableau around the pivot row so the elimination
+    // loop can read it while mutating the other rows.
+    let (above, rest) = t.split_at_mut(row);
+    let (pivot_row, below) = rest.split_first_mut().expect("pivot row in range");
+    for ti in above.iter_mut().chain(below.iter_mut()) {
+        let f = ti[col];
+        if f != 0.0 {
+            for (tij, &pj) in ti.iter_mut().zip(pivot_row.iter()) {
+                *tij -= f * pj;
             }
         }
     }
@@ -546,7 +543,7 @@ mod tests {
     fn flipped_variable_only_upper_bound() {
         // min -x s.t. x <= 7 (no lower bound on declaration, Ge constraint keeps bounded)
         let mut lp = LpProblem::new();
-        let x = lp.add_var(f64::NEG_INFINITY, 7.0, -1.0);
+        let _x = lp.add_var(f64::NEG_INFINITY, 7.0, -1.0);
         let sol = lp.solve().unwrap();
         assert_close(sol.x[0], 7.0, 1e-9);
     }
@@ -596,7 +593,7 @@ mod tests {
         // Klee-Minty-flavoured degenerate LP; checks anti-cycling.
         let mut lp = LpProblem::new();
         let v: Vec<usize> = (0..4)
-            .map(|i| lp.add_var(0.0, f64::INFINITY, -(10f64.powi(3 - i as i32))))
+            .map(|i| lp.add_var(0.0, f64::INFINITY, -(10f64.powi(3 - i))))
             .collect();
         for i in 0..4 {
             let mut coeffs = Vec::new();

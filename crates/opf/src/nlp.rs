@@ -20,6 +20,12 @@ pub struct NelderMeadOptions {
     /// Convergence tolerance on the simplex objective spread.
     pub f_tol: f64,
     /// Initial simplex edge length as a fraction of each box width.
+    ///
+    /// Must be small relative to the basin structure of the objective:
+    /// Nelder–Mead's reflection step doubles the simplex diameter, so a
+    /// simplex spanning a sizeable fraction of the box can tunnel across
+    /// objective barriers into a neighbouring basin. [`multistart`]
+    /// relies on each run staying in the basin it started in.
     pub initial_step: f64,
 }
 
@@ -28,7 +34,7 @@ impl Default for NelderMeadOptions {
         NelderMeadOptions {
             max_evals: 2_000,
             f_tol: 1e-9,
-            initial_step: 0.25,
+            initial_step: 0.05,
         }
     }
 }
@@ -171,11 +177,12 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
                 values[d] = fc;
             } else {
                 // Shrink toward the best vertex.
-                for v in 1..=d {
-                    for k in 0..d {
-                        simplex[v][k] = simplex[0][k] + sigma * (simplex[v][k] - simplex[0][k]);
+                let (best, rest) = simplex.split_first_mut().expect("non-empty simplex");
+                for (v, vertex) in rest.iter_mut().enumerate() {
+                    for (s, &b) in vertex.iter_mut().zip(best.iter()) {
+                        *s = b + sigma * (*s - b);
                     }
-                    values[v] = eval(&simplex[v].clone(), &mut f, &mut evals);
+                    values[v + 1] = eval(vertex, &mut f, &mut evals);
                 }
             }
         }
@@ -335,8 +342,24 @@ mod tests {
     #[test]
     fn multistart_is_deterministic_per_seed() {
         let f = |x: &[f64]| x[0].sin() * (3.0 * x[0]).cos() + 0.1 * x[0] * x[0];
-        let a = multistart(f, &[0.0], &[-6.0], &[6.0], 8, 42, &NelderMeadOptions::default());
-        let b = multistart(f, &[0.0], &[-6.0], &[6.0], 8, 42, &NelderMeadOptions::default());
+        let a = multistart(
+            f,
+            &[0.0],
+            &[-6.0],
+            &[6.0],
+            8,
+            42,
+            &NelderMeadOptions::default(),
+        );
+        let b = multistart(
+            f,
+            &[0.0],
+            &[-6.0],
+            &[6.0],
+            8,
+            42,
+            &NelderMeadOptions::default(),
+        );
         assert_eq!(a.x, b.x);
         assert_eq!(a.f, b.f);
     }

@@ -140,13 +140,11 @@ mod tests {
         let loads = net.loads();
         // At non-slack buses the realized injection equals requested.
         let p_req = net.injections(&dispatch).unwrap();
-        for i in 0..net.n_buses() {
+        for (i, (&realized, &requested)) in pf.injections.iter().zip(p_req.iter()).enumerate() {
             if i != net.slack() {
                 assert!(
-                    (pf.injections[i] - p_req[i]).abs() < 1e-6,
-                    "bus {i}: {} vs {}",
-                    pf.injections[i],
-                    p_req[i]
+                    (realized - requested).abs() < 1e-6,
+                    "bus {i}: {realized} vs {requested}"
                 );
             }
         }

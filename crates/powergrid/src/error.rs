@@ -41,7 +41,10 @@ impl fmt::Display for GridError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GridError::InvalidBusIndex { bus, n_buses } => {
-                write!(f, "bus index {bus} out of range (network has {n_buses} buses)")
+                write!(
+                    f,
+                    "bus index {bus} out of range (network has {n_buses} buses)"
+                )
             }
             GridError::InvalidReactance { branch, value } => {
                 write!(f, "branch {branch} has invalid reactance {value}")

@@ -82,7 +82,10 @@ impl ChiSquared {
     ///
     /// Panics if `p` is outside `(0, 1)`.
     pub fn inv_cdf(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile requires 0 < p < 1, got {p}");
+        assert!(
+            (0.0..1.0).contains(&p) && p > 0.0,
+            "quantile requires 0 < p < 1, got {p}"
+        );
         // Bracket: [0, hi] with hi grown until cdf(hi) >= p.
         let mut hi = self.k + 10.0 * (2.0 * self.k).sqrt() + 10.0;
         while self.cdf(hi) < p {
@@ -135,7 +138,10 @@ impl NoncentralChiSquared {
     ///
     /// Panics if `k <= 0` or `lambda < 0` or either is non-finite.
     pub fn new(k: f64, lambda: f64) -> NoncentralChiSquared {
-        assert!(k > 0.0 && k.is_finite(), "noncentral χ² requires k > 0, got {k}");
+        assert!(
+            k > 0.0 && k.is_finite(),
+            "noncentral χ² requires k > 0, got {k}"
+        );
         assert!(
             lambda >= 0.0 && lambda.is_finite(),
             "noncentral χ² requires λ >= 0, got {lambda}"

@@ -30,7 +30,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must be in [0,1], got {q}"
+    );
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
     let pos = q * (sorted.len() as f64 - 1.0);

@@ -88,7 +88,11 @@ impl LoadTrace {
         assert!(peak_mw > 0.0, "peak must be positive");
         let current = self.hourly_mw[self.peak_hour()];
         LoadTrace {
-            hourly_mw: self.hourly_mw.iter().map(|v| v * peak_mw / current).collect(),
+            hourly_mw: self
+                .hourly_mw
+                .iter()
+                .map(|v| v * peak_mw / current)
+                .collect(),
         }
     }
 }
@@ -126,9 +130,8 @@ mod tests {
         let t = nyiso_winter_weekday();
         assert_eq!(t.len(), 24);
         // trough in the small hours
-        let trough = (0..24).min_by(|&a, &b| {
-            t.total_load_mw(a).partial_cmp(&t.total_load_mw(b)).unwrap()
-        });
+        let trough =
+            (0..24).min_by(|&a, &b| t.total_load_mw(a).partial_cmp(&t.total_load_mw(b)).unwrap());
         assert_eq!(trough, Some(3));
         // peak at 6 PM
         assert_eq!(t.peak_hour(), 18);

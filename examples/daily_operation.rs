@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             o.cost_increase_percent,
             o.gamma_defense,
             o.effectiveness,
-            if o.target_met { "" } else { "  (target missed)" }
+            if o.target_met {
+                ""
+            } else {
+                "  (target missed)"
+            }
         );
     }
 
@@ -44,9 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|o| o.cost_with_mtd - o.cost_no_mtd)
         .sum();
     println!();
-    println!(
-        "daily MTD premium: ${daily_premium:.0} — the 'insurance' cost of keeping"
-    );
+    println!("daily MTD premium: ${daily_premium:.0} — the 'insurance' cost of keeping");
     println!("stale-knowledge FDI attacks detectable around the clock.");
     Ok(())
 }

@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for gamma_th in [0.1, 0.2] {
         let sel = selection::select_mtd(&net, &x_pre, gamma_th, &cfg)?;
-        let eval =
-            effectiveness::evaluate_with_attacks(&net, &x_pre, &sel.x_post, &attacks, &cfg)?;
+        let eval = effectiveness::evaluate_with_attacks(&net, &x_pre, &sel.x_post, &attacks, &cfg)?;
         println!(
             "SPA-targeted (gamma>={gamma_th})      {:5.3}   {:8.3}  {:8.3}",
             eval.gamma,

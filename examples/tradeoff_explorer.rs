@@ -25,10 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let net = base.scale_loads(trace.scaling_factor(hour, base.total_load()));
-    let prev = base.scale_loads(trace.scaling_factor(
-        if hour == 0 { 23 } else { hour - 1 },
-        base.total_load(),
-    ));
+    let prev = base.scale_loads(
+        trace.scaling_factor(if hour == 0 { 23 } else { hour - 1 }, base.total_load()),
+    );
     // Attacker knowledge: last hour's (cost-flat) OPF reactances.
     let x_start = selection::spread_pre_perturbation(&base, cfg.eta_max);
     let (x_pre, _) = selection::baseline_opf(&prev, &x_start, &cfg)?;

@@ -39,7 +39,9 @@ fn stale_attacker_is_defeated_fresh_attacker_is_not() {
 
     let mut rng = StdRng::seed_from_u64(3);
     let stale = AttackerKnowledge::learned(h_pre, 0);
-    let stale_attacks = stale.craft_random_set(&z, cfg.attack_ratio, 40, &mut rng).unwrap();
+    let stale_attacks = stale
+        .craft_random_set(&z, cfg.attack_ratio, 40, &mut rng)
+        .unwrap();
     let stale_detected = stale_attacks
         .iter()
         .filter(|a| bdd.detection_probability(&a.vector).unwrap() > 0.5)
@@ -51,11 +53,10 @@ fn stale_attacker_is_defeated_fresh_attacker_is_not() {
 
     // An attacker who re-learned the post-MTD matrix stays stealthy —
     // why the perturbation must keep moving.
-    let fresh = AttackerKnowledge::learned(
-        net.measurement_matrix(&sel.x_post).unwrap(),
-        1,
-    );
-    let fresh_attacks = fresh.craft_random_set(&z, cfg.attack_ratio, 10, &mut rng).unwrap();
+    let fresh = AttackerKnowledge::learned(net.measurement_matrix(&sel.x_post).unwrap(), 1);
+    let fresh_attacks = fresh
+        .craft_random_set(&z, cfg.attack_ratio, 10, &mut rng)
+        .unwrap();
     for a in &fresh_attacks {
         let pd = bdd.detection_probability(&a.vector).unwrap();
         assert!((pd - cfg.alpha).abs() < 1e-6, "fresh attack PD {pd}");
@@ -78,7 +79,12 @@ fn proposition1_agrees_with_detection_probability() {
         cfg.alpha,
     );
 
-    for c in [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 1.0, 1.0]] {
+    for c in [
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [1.0, 1.0, 1.0],
+    ] {
         let a = h.matvec(&c).unwrap();
         let undetectable = theory::is_undetectable(&h_post, &a).unwrap();
         let pd = bdd.detection_probability(&a).unwrap();
@@ -88,7 +94,10 @@ fn proposition1_agrees_with_detection_probability() {
                 "undetectable attack must have PD = alpha, got {pd}"
             );
         } else {
-            assert!(pd > cfg.alpha * 2.0, "detectable attack must beat alpha: {pd}");
+            assert!(
+                pd > cfg.alpha * 2.0,
+                "detectable attack must beat alpha: {pd}"
+            );
         }
     }
 }

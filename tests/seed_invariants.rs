@@ -1,0 +1,103 @@
+//! Tier-1 smoke suite: the invariants every future scale/perf PR must
+//! keep intact. Each test exercises one load-bearing property of the
+//! seed pipeline on the paper's benchmark systems (4-bus example of
+//! Fig. 3, IEEE 14-bus, IEEE 30-bus).
+
+use gridmtd::estimation::{BadDataDetector, NoiseModel, StateEstimator};
+use gridmtd::linalg::Svd;
+use gridmtd::opf::dcopf::{solve_opf_nominal, OpfOptions};
+use gridmtd::powergrid::{cases, dcpf, Network};
+
+fn benchmark_cases() -> Vec<Network> {
+    vec![cases::case4(), cases::case14(), cases::case30()]
+}
+
+#[test]
+fn benchmark_networks_load_and_are_consistent() {
+    for net in benchmark_cases() {
+        assert!(net.n_buses() >= 4, "{}: too few buses", net.name());
+        assert!(net.is_connected(), "{}: disconnected", net.name());
+        assert_eq!(net.n_states(), net.n_buses() - 1, "{}", net.name());
+        assert_eq!(
+            net.n_measurements(),
+            2 * net.n_branches() + net.n_buses(),
+            "{}: H = [D Aᵀ; −D Aᵀ; A D Aᵀ] row count",
+            net.name()
+        );
+        assert!(
+            net.nominal_reactances().iter().all(|&x| x > 0.0),
+            "{}: non-positive reactance",
+            net.name()
+        );
+        assert!(net.total_load() > 0.0, "{}", net.name());
+        let cap: f64 = net.gens().iter().map(|g| g.pmax_mw).sum();
+        assert!(
+            cap >= net.total_load(),
+            "{}: generation cannot cover load",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn measurement_matrices_have_full_column_rank() {
+    for net in benchmark_cases() {
+        let h = net
+            .measurement_matrix(&net.nominal_reactances())
+            .expect("nominal H");
+        let rank = Svd::compute(&h).expect("SVD of H").rank();
+        assert_eq!(rank, net.n_states(), "{}: rank-deficient H", net.name());
+    }
+}
+
+#[test]
+fn nominal_opf_respects_limits_and_balance() {
+    for net in benchmark_cases() {
+        let sol = solve_opf_nominal(&net, &OpfOptions::default()).expect("nominal OPF");
+        let tol = 1e-6;
+        for (l, (&flow, &limit)) in sol.flows.iter().zip(net.flow_limits().iter()).enumerate() {
+            assert!(
+                flow.abs() <= limit + tol,
+                "{}: branch {l} flow {flow:.3} exceeds limit {limit:.3}",
+                net.name()
+            );
+        }
+        for (g, (&p, gen)) in sol.dispatch.iter().zip(net.gens().iter()).enumerate() {
+            assert!(
+                (-tol..=gen.pmax_mw + tol).contains(&p),
+                "{}: generator {g} dispatch {p:.3} outside [0, {:.3}]",
+                net.name(),
+                gen.pmax_mw
+            );
+        }
+        let gen_total: f64 = sol.dispatch.iter().sum();
+        assert!(
+            (gen_total - net.total_load()).abs() < 1e-6,
+            "{}: dispatch does not balance load",
+            net.name()
+        );
+        assert!(sol.cost > 0.0, "{}", net.name());
+    }
+}
+
+#[test]
+fn clean_measurements_pass_bdd_at_alpha_5_percent() {
+    for net in benchmark_cases() {
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).expect("H");
+        let sol = solve_opf_nominal(&net, &OpfOptions::default()).expect("nominal OPF");
+        let pf = dcpf::solve_dispatch(&net, &x, &sol.dispatch).expect("power flow");
+        let noise = NoiseModel::uniform(h.rows(), 0.1);
+        let est = StateEstimator::new(h, &noise).expect("WLS estimator");
+        let bdd = BadDataDetector::new(est, 0.05);
+        let outcome = bdd.test(&pf.measurement_vector()).expect("BDD run");
+        assert!(
+            !outcome.alarm,
+            "{}: clean measurements should pass the χ² BDD at α = 0.05 \
+             (statistic {:.3} vs threshold {:.3})",
+            net.name(),
+            outcome.statistic,
+            outcome.threshold
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the gridmtd bench targets use — [`Criterion`]
+//! with the `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! benchmark groups, [`Bencher::iter`]/[`Bencher::iter_batched`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — measuring plain
+//! wall-clock means instead of criterion's full statistical pipeline:
+//!
+//! * each benchmark warms up for `warm_up_time`, then runs timed batches
+//!   until `measurement_time` elapses (at least `sample_size` batches) and
+//!   reports the mean ns/iteration;
+//! * `--test` on the command line (as passed by
+//!   `cargo bench -- --test`) switches to smoke mode: every routine runs
+//!   exactly once, untimed, so CI can keep the targets compiling and
+//!   running cheaply;
+//! * setting `GRIDMTD_BENCH_JSON=<path>` appends one JSON object per
+//!   benchmark (`{"bench":…,"mean_ns":…,"iters":…}`) to `<path>`, which is
+//!   how the workspace snapshots `BENCH_seed.json`-style baselines.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] sizes its setup batches. The stand-in
+/// always runs setup once per measured iteration, so the variants only
+/// exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every single iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to routines registered with
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+    /// (total duration, iterations) recorded by the last routine.
+    measured: Option<(Duration, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine`, called back-to-back in batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut batch: u64 = 1;
+        while Instant::now() < warm_deadline {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut samples = 0usize;
+        while total < self.measurement || samples < self.min_samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            samples += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+
+    /// Times `routine` on fresh values from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Smoke {
+            black_box(routine(setup()));
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine(setup()));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.measurement || (iters as usize) < self.min_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mode: Mode,
+    json_out: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            mode: Mode::Measure,
+            json_out: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test` for smoke mode) and the
+    /// `GRIDMTD_BENCH_JSON` snapshot path; called by [`criterion_main!`].
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::Smoke;
+        }
+        self.json_out = std::env::var_os("GRIDMTD_BENCH_JSON").map(Into::into);
+        self
+    }
+
+    /// Runs one benchmark and reports it.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            min_samples: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        let (total, iters) = bencher
+            .measured
+            .expect("benchmark routine never called Bencher::iter/iter_batched");
+        self.report(id, total, iters);
+        self
+    }
+
+    /// Opens a named group; group benchmark ids are `group/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn report(&self, id: &str, total: Duration, iters: u64) {
+        if self.mode == Mode::Smoke {
+            println!("{id}: smoke ok");
+            return;
+        }
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        println!("{id}: {mean_ns:.1} ns/iter ({iters} iters)");
+        if let Some(path) = &self.json_out {
+            let line = format!(
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.1},\"iters\":{}}}\n",
+                id.replace('\\', "\\\\").replace('"', "\\\""),
+                mean_ns,
+                iters
+            );
+            let write = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+            if let Err(e) = write {
+                eprintln!("warning: could not append to {}: {e}", path.display());
+            }
+        }
+    }
+
+    /// Upstream prints a closing summary; the stand-in has nothing left
+    /// to do.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group handle returned by [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark under this group's prefix.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!` (both the plain and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            ..Criterion::default()
+        };
+        let mut runs = 0u64;
+        c.bench_function("unit/smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_reports_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("unit/measure", |b| b.iter(|| runs += 1));
+        assert!(runs > 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("unit/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

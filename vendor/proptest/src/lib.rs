@@ -1,0 +1,324 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest 1.x API the gridmtd test suites
+//! use — [`strategy::Strategy`] with `prop_map`, numeric range and tuple
+//! strategies, [`collection::vec`], [`test_runner::ProptestConfig`] and
+//! the [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros — on top
+//! of a deterministic seeded RNG.
+//!
+//! Differences from upstream, deliberate for an offline environment:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   left to the assertion message; cases are deterministic per
+//!   (test name, case index), so failures replay exactly.
+//! * **No persistence files** (`proptest-regressions/`).
+//!
+//! Swapping the real crate back in requires only a manifest change.
+
+pub mod strategy {
+    //! Value-generation strategies (subset of `proptest::strategy`).
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy producing `f(v)` for `v` drawn from `self`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(f64, usize, u64, u32, i64, i32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s of a fixed length, as returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Generates `Vec`s of exactly `len` elements drawn from `element`.
+    ///
+    /// Upstream accepts any size range; the gridmtd suites only ever pass
+    /// a fixed length, so that is all this stand-in supports.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-loop configuration and RNG (subset of `proptest::test_runner`).
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases each property runs, set via
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG for one (test, case) pair. `salt` mixes in the
+        /// test name so distinct properties see distinct streams.
+        pub fn for_case(salt: u64, case: u64) -> Self {
+            TestRng {
+                rng: StdRng::seed_from_u64(
+                    salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(case),
+                ),
+            }
+        }
+    }
+
+    /// Explicit test-case failure, as carried by upstream's
+    /// `TestCaseError`. The stand-in's assertions panic instead, so this
+    /// only exists to type test bodies that `return Ok(())` early.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(pub String);
+
+    /// FNV-1a over a test name, used as the RNG salt.
+    pub fn name_salt(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `config.cases` deterministic samples and
+/// runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let salt = $crate::test_runner::name_salt(stringify!($name));
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::test_runner::TestRng::for_case(salt, case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // Upstream bodies may `return Ok(())` early, so run the
+                    // body inside a result-returning closure.
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = outcome {
+                        panic!("property {} failed on case {case}: {e:?}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Panicking analogue of `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Panicking analogue of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => { assert_eq!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => { assert_eq!($lhs, $rhs, $($fmt)+) };
+}
+
+/// Panicking analogue of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => { assert_ne!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => { assert_ne!($lhs, $rhs, $($fmt)+) };
+}
+
+/// Analogue of `proptest::prop_assume!`: skips the current case when the
+/// assumption fails (upstream re-draws; this stand-in just moves on).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, usize)> {
+        ((-1.0..1.0f64), (3usize..10)).prop_map(|(x, n)| (x * 2.0, n))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_honour_bounds(x in -5.0..5.0f64, n in 1usize..4) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn mapped_tuples_compose((x, n) in pair()) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((3..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_has_requested_len(v in crate::collection::vec(0.0..1.0f64, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let salt = crate::test_runner::name_salt("t");
+        let mut a = crate::test_runner::TestRng::for_case(salt, 3);
+        let mut b = crate::test_runner::TestRng::for_case(salt, 3);
+        let s = 0.0..1.0f64;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
