@@ -28,6 +28,28 @@ pub fn detection_probabilities(
         .collect()
 }
 
+/// One Monte-Carlo detection trial: corrupts `z_true` with a noise draw
+/// from `rng`, injects the attack and runs the BDD. The single source of
+/// the trial kernel — both the serial estimator below and the
+/// per-trial-seeded parallel estimator in `gridmtd-core` call this.
+///
+/// # Errors
+///
+/// Propagates estimator failures.
+pub fn monte_carlo_trial<R: Rng + ?Sized>(
+    bdd: &BadDataDetector,
+    z_true: &[f64],
+    attack: &FdiAttack,
+    noise: &NoiseModel,
+    rng: &mut R,
+) -> Result<bool, EstimationError> {
+    let mut z = noise.corrupt(z_true, rng);
+    for (zi, ai) in z.iter_mut().zip(attack.vector.iter()) {
+        *zi += ai;
+    }
+    Ok(bdd.test(&z)?.alarm)
+}
+
 /// Monte-Carlo estimate of the detection probability of a single attack:
 /// draws `trials` noise vectors, applies `z_true + noise + a` and counts
 /// alarms.
@@ -45,11 +67,7 @@ pub fn monte_carlo_detection_probability<R: Rng + ?Sized>(
 ) -> Result<f64, EstimationError> {
     let mut alarms = 0usize;
     for _ in 0..trials {
-        let mut z = noise.corrupt(z_true, rng);
-        for (zi, ai) in z.iter_mut().zip(attack.vector.iter()) {
-            *zi += ai;
-        }
-        if bdd.test(&z)?.alarm {
+        if monte_carlo_trial(bdd, z_true, attack, noise, rng)? {
             alarms += 1;
         }
     }

@@ -32,14 +32,22 @@ fn bench_dcpf(c: &mut Criterion) {
         (
             "case14",
             cases::case14(),
-            vec![150.0, 40.0, 20.0, 30.0, 19.0],
+            Some(vec![150.0, 40.0, 20.0, 30.0, 19.0]),
         ),
         (
             "case30",
             cases::case30(),
-            vec![60.0, 55.0, 25.0, 20.0, 15.0, 14.2],
+            Some(vec![60.0, 55.0, 25.0, 20.0, 15.0, 14.2]),
         ),
+        ("case57", cases::case57(), None),
+        ("case118", cases::case118(), None),
     ] {
+        // Synthetic scale cases: split the load evenly across units (the
+        // power flow does not need a merit-order dispatch).
+        let dispatch = dispatch.unwrap_or_else(|| {
+            let share = net.total_load() / net.n_gens() as f64;
+            vec![share; net.n_gens()]
+        });
         let x = net.nominal_reactances();
         group.bench_function(name, |b| {
             b.iter(|| dcpf::solve_dispatch(black_box(&net), &x, &dispatch).unwrap())

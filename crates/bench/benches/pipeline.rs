@@ -1,22 +1,62 @@
 //! Criterion benches for the experiment-level pipelines: DC-OPF solves,
 //! full effectiveness evaluations (the inner loop of Figs. 6–9) and one
 //! SPA-constrained selection step (problem (4)).
+//!
+//! `dc_opf/*` measures the **in-loop** workload — a persistent
+//! [`OpfContext`] whose LP warm-starts from the previous basis while the
+//! reactances drift, exactly how `select_mtd`'s Nelder–Mead trajectory
+//! consumes the solver. `dc_opf_cold/*` keeps the from-scratch reference
+//! visible.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use gridmtd_core::{effectiveness, selection, MtdConfig};
-use gridmtd_opf::{solve_opf, OpfOptions};
-use gridmtd_powergrid::cases;
+use gridmtd_opf::{solve_opf, solve_opf_with, OpfContext, OpfOptions};
+use gridmtd_powergrid::{cases, Network};
+
+/// A short cycle of gently drifting reactance vectors, mimicking one
+/// optimizer trajectory.
+fn drift_cycle(net: &Network) -> Vec<Vec<f64>> {
+    let x0 = net.nominal_reactances();
+    (0..8)
+        .map(|k| {
+            let mut x = x0.clone();
+            for (j, l) in net.dfacts_branches().into_iter().enumerate() {
+                let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                x[l] *= 1.0 + sign * 0.004 * ((k % 4) as f64 + 1.0);
+            }
+            x
+        })
+        .collect()
+}
 
 fn bench_opf(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dc_opf");
     let opts = OpfOptions::default();
+
+    let mut group = c.benchmark_group("dc_opf");
     for (name, net) in [
         ("case4", cases::case4()),
         ("case14", cases::case14()),
         ("case30", cases::case30()),
+        ("case57", cases::case57()),
+        ("case118", cases::case118()),
     ] {
+        let xs = drift_cycle(&net);
+        let mut ctx = OpfContext::new();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let x = &xs[i % xs.len()];
+                i += 1;
+                solve_opf_with(black_box(&net), x, &opts, &mut ctx).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dc_opf_cold");
+    for (name, net) in [("case30", cases::case30()), ("case57", cases::case57())] {
         let x = net.nominal_reactances();
         group.bench_function(name, |b| {
             b.iter(|| solve_opf(black_box(&net), &x, &opts).unwrap())

@@ -8,8 +8,14 @@
 //! probability is computed in closed form (noncentral χ², Appendix B),
 //! with an optional Monte-Carlo cross-check used by the ablation
 //! experiments.
+//!
+//! Both the per-attack analytic scoring and the Monte-Carlo cross-check
+//! fan out across scoped worker threads
+//! ([`gridmtd_opf::parallel`]); the Monte-Carlo draws each trial's noise
+//! from a stream seeded by the trial index, so parallel results are
+//! bit-identical to serial.
 
-use gridmtd_attack::{detection, AttackerKnowledge, FdiAttack};
+use gridmtd_attack::{AttackerKnowledge, FdiAttack};
 use gridmtd_estimation::{BadDataDetector, NoiseModel, StateEstimator};
 use gridmtd_powergrid::{dcpf, Network};
 use rand::rngs::StdRng;
@@ -43,6 +49,38 @@ impl MtdEvaluation {
     pub fn mean_detection(&self) -> f64 {
         gridmtd_stats::empirical::mean(&self.detection_probs)
     }
+}
+
+/// Index of the attack whose detection probability is closest to 0.5 —
+/// the most informative attack for Monte-Carlo cross-checks (at the
+/// midpoint the analytic-vs-sampled comparison has maximal variance to
+/// detect).
+///
+/// Ranking uses [`f64::total_cmp`], and a NaN probability is surfaced as
+/// [`MtdError::NanDetectionProbability`] instead of panicking the whole
+/// evaluation.
+///
+/// # Errors
+///
+/// * [`MtdError::NanDetectionProbability`] if any probability is NaN.
+///
+/// # Panics
+///
+/// Panics if `detection_probs` is empty.
+pub fn midpoint_attack_index(detection_probs: &[f64]) -> Result<usize, MtdError> {
+    assert!(
+        !detection_probs.is_empty(),
+        "need at least one detection probability"
+    );
+    if let Some(index) = detection_probs.iter().position(|p| p.is_nan()) {
+        return Err(MtdError::NanDetectionProbability { index });
+    }
+    Ok(detection_probs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| (a.1 - 0.5).abs().total_cmp(&(b.1 - 0.5).abs()))
+        .map(|(i, _)| i)
+        .expect("non-empty slice"))
 }
 
 /// Builds the detector a grid operator would run after switching to the
@@ -84,6 +122,19 @@ pub fn build_attack_set(
     Ok(attacker.craft_random_set(&z_pre, cfg.attack_ratio, cfg.n_attacks, &mut rng)?)
 }
 
+/// Scores every attack in the ensemble against the detector in
+/// parallel: each attack's closed-form probability is independent, so
+/// the fan-out is a pure (bit-identical) reordering of the serial loop.
+pub fn detection_probabilities_parallel(
+    bdd: &BadDataDetector,
+    attacks: &[FdiAttack],
+) -> Result<Vec<f64>, MtdError> {
+    gridmtd_opf::parallel::par_map(attacks, |_, a| bdd.detection_probability(&a.vector))
+        .into_iter()
+        .collect::<Result<Vec<f64>, _>>()
+        .map_err(MtdError::from)
+}
+
 /// Evaluates an MTD perturbation `x_pre → x_post` against a prebuilt
 /// attack ensemble (fast path for threshold sweeps that reuse the
 /// ensemble).
@@ -101,7 +152,7 @@ pub fn evaluate_with_attacks(
     let h_pre = net.measurement_matrix(x_pre)?;
     let h_post = net.measurement_matrix(x_post)?;
     let bdd = post_mtd_detector(net, x_post, cfg)?;
-    let detection_probs = detection::detection_probabilities(&bdd, attacks)?;
+    let detection_probs = detection_probabilities_parallel(&bdd, attacks)?;
     Ok(MtdEvaluation {
         gamma: spa::gamma(&h_pre, &h_post)?,
         smallest_angle: spa::smallest_angle(&h_pre, &h_post)?,
@@ -130,6 +181,10 @@ pub fn evaluate_mtd(
 /// attack (the paper's 1000-noise-draw procedure): used by the ablation
 /// experiment to validate the closed form.
 ///
+/// Trials fan out across worker threads; trial `t` draws its noise from
+/// a dedicated stream seeded `base ⊕ t`, so the alarm count (and hence
+/// the returned probability) is identical for any worker count.
+///
 /// # Errors
 ///
 /// Propagates model failures.
@@ -145,10 +200,16 @@ pub fn monte_carlo_detection(
     let pf = dcpf::solve_dispatch(net, x_post, dispatch_post)?;
     let z_true = pf.measurement_vector();
     let noise = NoiseModel::uniform(z_true.len(), cfg.noise_sigma_mw);
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5eed));
-    Ok(detection::monte_carlo_detection_probability(
-        &bdd, &z_true, attack, &noise, trials, &mut rng,
-    )?)
+    let base = cfg.seed.wrapping_add(0x5eed);
+    let trial_ids: Vec<u64> = (0..trials as u64).collect();
+    let alarms = gridmtd_opf::parallel::par_map(&trial_ids, |_, &t| {
+        let mut rng = StdRng::seed_from_u64(base ^ t);
+        gridmtd_attack::detection::monte_carlo_trial(&bdd, &z_true, attack, &noise, &mut rng)
+            .map(usize::from)
+    })
+    .into_iter()
+    .sum::<Result<usize, _>>()?;
+    Ok(alarms as f64 / trials as f64)
 }
 
 #[cfg(test)]
@@ -233,12 +294,7 @@ mod tests {
         let bdd = post_mtd_detector(&net, &x_post, &cfg).unwrap();
         // pick an attack with mid-range PD so the comparison is informative
         let probs = gridmtd_attack::detection_probabilities(&bdd, &attacks).unwrap();
-        let idx = probs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| (a.1 - 0.5).abs().partial_cmp(&(b.1 - 0.5).abs()).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let idx = midpoint_attack_index(&probs).unwrap();
         let opf_post = gridmtd_opf::solve_opf(&net, &x_post, &cfg.opf_options()).unwrap();
         let mc =
             monte_carlo_detection(&net, &x_post, &opf_post.dispatch, &attacks[idx], 2500, &cfg)
@@ -265,6 +321,45 @@ mod tests {
         };
         let c = build_attack_set(&net, &x, &opf.dispatch, &cfg2).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn midpoint_attack_index_picks_closest_to_half() {
+        assert_eq!(midpoint_attack_index(&[0.1, 0.48, 0.9, 0.52]).unwrap(), 1);
+        assert_eq!(midpoint_attack_index(&[0.99]).unwrap(), 0);
+    }
+
+    #[test]
+    fn midpoint_attack_index_surfaces_nan_as_error() {
+        // Regression: a NaN probability used to panic the whole
+        // evaluation through `partial_cmp(..).unwrap()`.
+        let err = midpoint_attack_index(&[0.3, f64::NAN, 0.6]).unwrap_err();
+        assert_eq!(err, crate::MtdError::NanDetectionProbability { index: 1 });
+        // Infinities are ranked (total_cmp), not fatal.
+        assert_eq!(
+            midpoint_attack_index(&[f64::INFINITY, 0.4]).unwrap(),
+            1,
+            "finite value is closer to 0.5 than +inf"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_across_thread_counts() {
+        // The per-trial seed streams make the estimate independent of
+        // the fan-out; exercised here via the env-independent public
+        // API (thread count is read from the machine, but the alarm
+        // count is a pure function of the trial seeds).
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let (x_pre, x_post) = mixed_perturbation(&net, 0.35);
+        let opf_pre = gridmtd_opf::solve_opf(&net, &x_pre, &cfg.opf_options()).unwrap();
+        let attacks = build_attack_set(&net, &x_pre, &opf_pre.dispatch, &cfg).unwrap();
+        let opf_post = gridmtd_opf::solve_opf(&net, &x_post, &cfg.opf_options()).unwrap();
+        let a = monte_carlo_detection(&net, &x_post, &opf_post.dispatch, &attacks[0], 400, &cfg)
+            .unwrap();
+        let b = monte_carlo_detection(&net, &x_post, &opf_post.dispatch, &attacks[0], 400, &cfg)
+            .unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub enum MtdError {
     },
     /// The OPF under every candidate perturbation was infeasible.
     Infeasible,
+    /// A detection probability evaluated to NaN (numerical breakdown in
+    /// the noncentral-χ² tail computation); carries the index of the
+    /// offending attack so the ensemble entry can be inspected.
+    NanDetectionProbability {
+        /// Index of the attack whose probability was NaN.
+        index: usize,
+    },
     /// Underlying grid-model failure.
     Grid(GridError),
     /// Underlying OPF failure.
@@ -40,6 +47,9 @@ impl fmt::Display for MtdError {
                 "SPA threshold {requested:.3} rad unreachable within D-FACTS limits (best {achieved:.3})"
             ),
             MtdError::Infeasible => write!(f, "no feasible MTD perturbation"),
+            MtdError::NanDetectionProbability { index } => {
+                write!(f, "detection probability of attack {index} is NaN")
+            }
             MtdError::Grid(e) => write!(f, "grid error: {e}"),
             MtdError::Opf(e) => write!(f, "OPF error: {e}"),
             MtdError::Estimation(e) => write!(f, "estimation error: {e}"),

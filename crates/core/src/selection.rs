@@ -14,7 +14,9 @@
 //!    solved with multistart Nelder–Mead + adaptive exterior penalty —
 //!    the equivalent of the paper's fmincon/MultiStart.
 
-use gridmtd_opf::{multistart, solve_opf, OpfError, OpfSolution};
+use gridmtd_opf::{
+    multistart, multistart_stateful, solve_opf, solve_opf_with, OpfContext, OpfError, OpfSolution,
+};
 use gridmtd_powergrid::Network;
 use rand::Rng;
 
@@ -84,6 +86,7 @@ pub fn max_achievable_gamma(
     cfg: &MtdConfig,
 ) -> Result<(Vec<f64>, f64), MtdError> {
     let h_pre = net.measurement_matrix(x_pre)?;
+    let gamma_basis = spa::GammaBasis::new(&h_pre)?;
     let dfacts = net.dfacts_branches();
     let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
     let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
@@ -96,7 +99,7 @@ pub fn max_achievable_gamma(
         match net
             .measurement_matrix(&x)
             .map_err(MtdError::from)
-            .and_then(|h| spa::gamma(&h_pre, &h))
+            .and_then(|h| gamma_basis.gamma_to(&h))
         {
             Ok(g) => -g,
             Err(_) => f64::INFINITY,
@@ -142,6 +145,7 @@ pub fn select_mtd(
     cfg: &MtdConfig,
 ) -> Result<MtdSelection, MtdError> {
     let h_pre = net.measurement_matrix(x_pre)?;
+    let gamma_basis = spa::GammaBasis::new(&h_pre)?;
     let dfacts = net.dfacts_branches();
     let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
     let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
@@ -169,23 +173,36 @@ pub fn select_mtd(
     let tol = 1e-3;
 
     for round in 0..4 {
-        let objective = |cand: &[f64]| {
-            let x = assemble(&x_nominal, &dfacts, cand);
-            let cost = match solve_opf(net, &x, &opf_opts) {
-                Ok(s) => s.cost,
-                Err(_) => return INFEASIBLE_COST,
-            };
-            let g = match net
-                .measurement_matrix(&x)
-                .map_err(MtdError::from)
-                .and_then(|h| spa::gamma(&h_pre, &h))
-            {
-                Ok(g) => g,
-                Err(_) => return INFEASIBLE_COST,
-            };
-            let deficit = (gamma_th - g).max(0.0);
-            let overshoot = (g - gamma_th).max(0.0);
-            cost + penalty_weight * deficit * deficit + proximity_weight * overshoot * overshoot
+        // Each start builds its own objective around a private
+        // [`OpfContext`], so the hundreds of DC-OPFs along one
+        // Nelder–Mead trajectory warm-start from the previous basis —
+        // and the per-start state keeps parallel and serial multistart
+        // executions bit-identical. The objectives capture shared data
+        // by reference (`&` bindings below) and only own their context.
+        let (x_nominal, dfacts, gamma_basis) = (&x_nominal, &dfacts, &gamma_basis);
+        let objective_for = |_start: usize| {
+            let mut ctx = OpfContext::new();
+            move |cand: &[f64]| {
+                let x = assemble(x_nominal, dfacts, cand);
+                let cost = match solve_opf_with(net, &x, &opf_opts, &mut ctx) {
+                    Ok(s) => s.cost,
+                    Err(_) => return INFEASIBLE_COST,
+                };
+                // The conservative fast estimate keeps the penalty honest
+                // (never reports more angle than really achieved); the
+                // accepted point is re-audited with the exact γ below.
+                let g = match net
+                    .measurement_matrix(&x)
+                    .map_err(MtdError::from)
+                    .and_then(|h| gamma_basis.gamma_to_approx(&h))
+                {
+                    Ok(g) => g,
+                    Err(_) => return INFEASIBLE_COST,
+                };
+                let deficit = (gamma_th - g).max(0.0);
+                let overshoot = (g - gamma_th).max(0.0);
+                cost + penalty_weight * deficit * deficit + proximity_weight * overshoot * overshoot
+            }
         };
         // Calibrated simplex size for the reactance box: large enough to
         // move γ off the warm start's 0, small enough not to leap far
@@ -194,8 +211,8 @@ pub fn select_mtd(
             initial_step: 0.12,
             ..cfg.nm_options()
         };
-        let result = multistart(
-            objective,
+        let result = multistart_stateful(
+            objective_for,
             &x0,
             &lo,
             &hi,
@@ -206,7 +223,7 @@ pub fn select_mtd(
         if result.f >= INFEASIBLE_COST {
             return Err(MtdError::Infeasible);
         }
-        let x_post = assemble(&x_nominal, &dfacts, &result.x);
+        let x_post = assemble(x_nominal, dfacts, &result.x);
         let h_post = net.measurement_matrix(&x_post)?;
         let gamma = spa::gamma(&h_pre, &h_post)?;
         if gamma + tol >= gamma_th {
@@ -254,9 +271,10 @@ pub fn baseline_opf(
     let opf_opts = cfg.opf_options();
 
     const INFEASIBLE_COST: f64 = 1e15;
+    let mut ctx = OpfContext::new();
     let objective = |cand: &[f64]| {
         let x = assemble(&x_nominal, &dfacts, cand);
-        match solve_opf(net, &x, &opf_opts) {
+        match solve_opf_with(net, &x, &opf_opts, &mut ctx) {
             Ok(s) => s.cost,
             Err(_) => INFEASIBLE_COST,
         }

@@ -121,26 +121,44 @@ pub fn simulate_day(
         };
         let attacks = effectiveness::build_attack_set(&net_now, &x_prev, &opf_prev_dispatch, cfg)?;
 
-        // 3. Tune γ_th on the grid.
+        // 3. Tune γ_th on the grid. Candidates are evaluated
+        // speculatively in worker-sized chunks and the serial early-exit
+        // rule is replayed over the ordered results: take the first
+        // candidate meeting the target, else the last reachable one
+        // before an unreachable threshold — so the outcome (including
+        // which errors can surface) is exactly the serial tuner's. The
+        // bounded lookahead keeps the speculation free: with one worker
+        // the chunks have length 1 and the loop *is* the serial tuner;
+        // with more workers the extra evaluations ride on otherwise idle
+        // cores.
+        let lookahead = gridmtd_opf::parallel::available_threads().max(1);
         let mut chosen: Option<(f64, selection::MtdSelection, f64)> = None;
-        for &gamma_th in &opts.gamma_grid {
-            let sel = match selection::select_mtd(&net_now, &x_prev, gamma_th, cfg) {
-                Ok(s) => s,
-                Err(MtdError::ThresholdUnreachable { .. }) => break,
-                Err(e) => return Err(e),
-            };
-            let eval = effectiveness::evaluate_with_attacks(
-                &net_now,
-                &x_prev,
-                &sel.x_post,
-                &attacks,
-                cfg,
-            )?;
-            let eta = eval.effectiveness(opts.target_delta);
-            let met = eta >= opts.target_eta;
-            chosen = Some((gamma_th, sel, eta));
-            if met {
-                break;
+        'grid: for candidates in opts.gamma_grid.chunks(lookahead) {
+            let evaluations: Vec<Result<(selection::MtdSelection, f64), MtdError>> =
+                gridmtd_opf::parallel::par_map(candidates, |_, &gamma_th| {
+                    let sel = selection::select_mtd(&net_now, &x_prev, gamma_th, cfg)?;
+                    let eval = effectiveness::evaluate_with_attacks(
+                        &net_now,
+                        &x_prev,
+                        &sel.x_post,
+                        &attacks,
+                        cfg,
+                    )?;
+                    let eta = eval.effectiveness(opts.target_delta);
+                    Ok((sel, eta))
+                });
+            for (&gamma_th, evaluation) in candidates.iter().zip(evaluations) {
+                match evaluation {
+                    Ok((sel, eta)) => {
+                        let met = eta >= opts.target_eta;
+                        chosen = Some((gamma_th, sel, eta));
+                        if met {
+                            break 'grid;
+                        }
+                    }
+                    Err(MtdError::ThresholdUnreachable { .. }) => break 'grid,
+                    Err(e) => return Err(e),
+                }
             }
         }
         let (gamma_threshold, sel, eta) = chosen.ok_or(MtdError::Infeasible)?;

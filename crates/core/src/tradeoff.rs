@@ -71,25 +71,38 @@ pub fn tradeoff_sweep(
     // (problem (1), reactances free within D-FACTS limits).
     let (_, baseline) = selection::baseline_opf(net, x_pre, cfg)?;
 
-    let mut points = Vec::with_capacity(gamma_thresholds.len());
-    for &gamma_th in gamma_thresholds {
-        if gamma_th > gamma_ceiling + 1e-3 {
-            continue;
-        }
-        let sel = match selection::select_mtd(net, x_pre, gamma_th, cfg) {
-            Ok(s) => s,
-            Err(MtdError::ThresholdUnreachable { .. }) => continue,
-            Err(e) => return Err(e),
-        };
-        let eval = effectiveness::evaluate_with_attacks(net, x_pre, &sel.x_post, &attacks, cfg)?;
-        let effectiveness_grid: Vec<(f64, f64)> =
-            deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
-        points.push(TradeoffPoint {
-            gamma_threshold: gamma_th,
-            gamma_achieved: sel.gamma,
-            cost_increase_percent: cost::cost_increase_percent(baseline.cost, sel.opf.cost),
-            effectiveness: effectiveness_grid,
+    // Every threshold's selection + scoring is independent given the
+    // shared ensemble, so the sweep fans across worker threads; results
+    // come back in grid order, making the curve identical to a serial
+    // sweep.
+    let in_range: Vec<f64> = gamma_thresholds
+        .iter()
+        .copied()
+        .filter(|&g| g <= gamma_ceiling + 1e-3)
+        .collect();
+    let swept: Vec<Result<Option<TradeoffPoint>, MtdError>> =
+        gridmtd_opf::parallel::par_map(&in_range, |_, &gamma_th| {
+            let sel = match selection::select_mtd(net, x_pre, gamma_th, cfg) {
+                Ok(s) => s,
+                Err(MtdError::ThresholdUnreachable { .. }) => return Ok(None),
+                Err(e) => return Err(e),
+            };
+            let eval =
+                effectiveness::evaluate_with_attacks(net, x_pre, &sel.x_post, &attacks, cfg)?;
+            let effectiveness_grid: Vec<(f64, f64)> =
+                deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
+            Ok(Some(TradeoffPoint {
+                gamma_threshold: gamma_th,
+                gamma_achieved: sel.gamma,
+                cost_increase_percent: cost::cost_increase_percent(baseline.cost, sel.opf.cost),
+                effectiveness: effectiveness_grid,
+            }))
         });
+    let mut points = Vec::with_capacity(in_range.len());
+    for swept_point in swept {
+        if let Some(p) = swept_point? {
+            points.push(p);
+        }
     }
     Ok(TradeoffCurve {
         points,
@@ -101,6 +114,11 @@ pub fn tradeoff_sweep(
 /// Scores `n_trials` random baseline perturbations (the keyspace of
 /// [11–12]) against the same ensemble, returning each trial's `η'(δ)`
 /// curve — the data behind Figs. 7 and 8.
+///
+/// Trials fan out across worker threads; trial `t` draws its random
+/// perturbation from a stream seeded `(seed + 0xfeed) ⊕ t`, so the study
+/// is a pure function of its arguments regardless of the worker count
+/// (and of any future change to `n_trials`, for the shared prefix).
 ///
 /// # Errors
 ///
@@ -116,10 +134,11 @@ pub fn random_keyspace_study(
 ) -> Result<Vec<RandomTrial>, MtdError> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xfeed));
+    let base = cfg.seed.wrapping_add(0xfeed);
     let h_pre = net.measurement_matrix(x_pre)?;
-    let mut out = Vec::with_capacity(n_trials);
-    for trial in 0..n_trials {
+    let trial_ids: Vec<u64> = (0..n_trials as u64).collect();
+    gridmtd_opf::parallel::par_map(&trial_ids, |_, &t| {
+        let mut rng = StdRng::seed_from_u64(base ^ t);
         let x_post = selection::random_perturbation(net, x_pre, fraction, &mut rng);
         let h_post = net.measurement_matrix(&x_post)?;
         let bdd = effectiveness::post_mtd_detector(net, &x_post, cfg)?;
@@ -130,13 +149,14 @@ pub fn random_keyspace_study(
             detection_probs: probs,
         };
         let eta: Vec<(f64, f64)> = deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
-        out.push(RandomTrial {
-            trial,
+        Ok(RandomTrial {
+            trial: t as usize,
             gamma: eval.gamma,
             effectiveness: eta,
-        });
-    }
-    Ok(out)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One random-keyspace trial (Figs. 7–8).

@@ -1,0 +1,52 @@
+//! End-to-end determinism contract: the scenario engine's output is
+//! bit-identical no matter how many worker threads it fans across.
+//!
+//! This lives in its own integration-test binary because it flips the
+//! `GRIDMTD_THREADS` override; keeping every phase inside one `#[test]`
+//! keeps the environment mutation race-free.
+
+use gridmtd_core::{effectiveness, selection, tradeoff, MtdConfig};
+use gridmtd_powergrid::cases;
+
+#[test]
+fn parallel_engine_output_is_bit_identical_to_serial() {
+    let net = cases::case14();
+    let cfg = MtdConfig {
+        n_attacks: 80,
+        n_starts: 3,
+        max_evals_per_start: 120,
+        ..MtdConfig::default()
+    };
+    let x0 = net.nominal_reactances();
+
+    let run_engine = || {
+        let sel = selection::select_mtd(&net, &x0, 0.12, &cfg).unwrap();
+        let opf = gridmtd_opf::solve_opf(&net, &x0, &cfg.opf_options()).unwrap();
+        let attacks = effectiveness::build_attack_set(&net, &x0, &opf.dispatch, &cfg).unwrap();
+        let eval =
+            effectiveness::evaluate_with_attacks(&net, &x0, &sel.x_post, &attacks, &cfg).unwrap();
+        let curve = tradeoff::tradeoff_sweep(&net, &x0, &[0.05, 0.15], &[0.5, 0.9], &cfg).unwrap();
+        (sel, eval, curve)
+    };
+
+    std::env::set_var("GRIDMTD_THREADS", "1");
+    let (sel_serial, eval_serial, curve_serial) = run_engine();
+    std::env::set_var("GRIDMTD_THREADS", "4");
+    let (sel_par, eval_par, curve_par) = run_engine();
+    std::env::remove_var("GRIDMTD_THREADS");
+
+    // MtdSelection: the selected reactances, angle and OPF must agree to
+    // the bit (PartialEq on f64 fields is exact equality).
+    assert_eq!(
+        sel_serial, sel_par,
+        "MtdSelection must not depend on fan-out"
+    );
+    assert_eq!(
+        eval_serial, eval_par,
+        "attack scoring must not depend on fan-out"
+    );
+    assert_eq!(
+        curve_serial, curve_par,
+        "tradeoff sweep must not depend on fan-out"
+    );
+}

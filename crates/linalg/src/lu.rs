@@ -141,6 +141,48 @@ impl Lu {
         Ok(x)
     }
 
+    /// Solves `Aᵀ x = b` using the same factorization (`PA = LU` gives
+    /// `Aᵀ = UᵀLᵀP`), so one factorization serves both the primal solve
+    /// and the dual (transposed) solve — the simplex warm-start computes
+    /// basic values and dual multipliers from a single LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve_transposed",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Uᵀ w = b: forward substitution (Uᵀ lower triangular).
+        let mut w = b.to_vec();
+        for i in 0..n {
+            let mut acc = w[i];
+            for (j, &wj) in w.iter().enumerate().take(i) {
+                acc -= self.lu[(j, i)] * wj;
+            }
+            w[i] = acc / self.lu[(i, i)];
+        }
+        // Lᵀ z = w: back substitution (Lᵀ unit upper triangular).
+        for i in (0..n).rev() {
+            let mut acc = w[i];
+            for (j, &wj) in w.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(j, i)] * wj;
+            }
+            w[i] = acc;
+        }
+        // Undo the row permutation: x[perm[i]] = z[i].
+        let mut x = vec![0.0; n];
+        for (i, &pi) in self.perm.iter().enumerate() {
+            x[pi] = w[i];
+        }
+        Ok(x)
+    }
+
     /// Solves `A X = B` for a matrix right-hand side.
     ///
     /// # Errors
@@ -265,6 +307,20 @@ mod tests {
             &Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]).unwrap(),
             1e-12
         ));
+    }
+
+    #[test]
+    fn transposed_solve_matches_explicit_transpose() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_transposed(&b).unwrap();
+        let direct = solve(&a.transpose(), &b).unwrap();
+        assert!(vector::approx_eq(&x, &direct, 1e-10));
+        let back = a.transpose().matvec(&x).unwrap();
+        assert!(vector::approx_eq(&back, &b, 1e-10));
+        assert!(lu.solve_transposed(&[1.0]).is_err());
     }
 
     #[test]

@@ -26,33 +26,143 @@ use crate::{qr, LinalgError, Matrix, Svd};
 /// * [`LinalgError::ShapeMismatch`] if the row counts differ.
 /// * Propagates QR/SVD failures for degenerate inputs.
 pub fn principal_angles(a: &Matrix, b: &Matrix) -> Result<Vec<f64>, LinalgError> {
-    if a.rows() != b.rows() {
-        return Err(LinalgError::ShapeMismatch {
-            op: "principal_angles",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
+    OrthonormalBasis::new(a)?.angles_to(b)
+}
+
+/// A precomputed orthonormal basis of one column space, for computing
+/// principal angles against many other subspaces.
+///
+/// The Björck–Golub method orthonormalizes *both* matrices per angle
+/// query; when one side is fixed (the pre-perturbation measurement
+/// matrix inside a selection sweep, compared against hundreds of
+/// candidates), caching its `Q` halves the per-query QR work.
+#[derive(Debug, Clone)]
+pub struct OrthonormalBasis {
+    q: Matrix,
+}
+
+impl OrthonormalBasis {
+    /// Orthonormalizes `Col(a)` once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates QR failures for degenerate inputs.
+    pub fn new(a: &Matrix) -> Result<OrthonormalBasis, LinalgError> {
+        Ok(OrthonormalBasis {
+            q: qr::orthonormal_basis(a)?,
+        })
     }
-    let q1 = qr::orthonormal_basis(a)?;
-    let q2 = qr::orthonormal_basis(b)?;
-    let m = q1.transpose().matmul(&q2)?;
-    // SVD needs rows >= cols.
-    let tall = if m.rows() >= m.cols() {
-        m
-    } else {
-        m.transpose()
-    };
-    let svd = Svd::compute(&tall)?;
-    // Clamp to [0, 1]: roundoff can push cosines slightly above 1.
-    let mut angles: Vec<f64> = svd
-        .singular_values()
-        .iter()
-        .map(|&c| c.clamp(0.0, 1.0).acos())
-        .collect();
-    // Singular values are sorted descending => angles ascending already,
-    // but make the contract explicit.
-    angles.sort_by(|x, y| x.partial_cmp(y).expect("NaN angle"));
-    Ok(angles)
+
+    /// The cached orthonormal basis `Q`.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// All principal angles (radians, non-decreasing) between the cached
+    /// subspace and `Col(b)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if the row counts differ.
+    /// * Propagates QR/SVD failures for degenerate inputs.
+    pub fn angles_to(&self, b: &Matrix) -> Result<Vec<f64>, LinalgError> {
+        if self.q.rows() != b.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "principal_angles",
+                lhs: self.q.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let q2 = qr::orthonormal_basis(b)?;
+        let m = self.q.transpose().matmul(&q2)?;
+        // SVD needs rows >= cols.
+        let tall = if m.rows() >= m.cols() {
+            m
+        } else {
+            m.transpose()
+        };
+        let svd = Svd::compute(&tall)?;
+        // Clamp to [0, 1]: roundoff can push cosines slightly above 1.
+        let mut angles: Vec<f64> = svd
+            .singular_values()
+            .iter()
+            .map(|&c| c.clamp(0.0, 1.0).acos())
+            .collect();
+        // Singular values are sorted descending => angles ascending
+        // already, but make the contract explicit.
+        angles.sort_by(|x, y| x.partial_cmp(y).expect("NaN angle"));
+        Ok(angles)
+    }
+
+    /// The largest principal angle between the cached subspace and
+    /// `Col(b)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`OrthonormalBasis::angles_to`].
+    pub fn largest_angle_to(&self, b: &Matrix) -> Result<f64, LinalgError> {
+        Ok(*self
+            .angles_to(b)?
+            .last()
+            .expect("at least one angle for non-empty inputs"))
+    }
+
+    /// Fast deterministic estimate of the largest principal angle,
+    /// for penalty/objective evaluation in optimization inner loops.
+    ///
+    /// Uses the sine characterization: the singular values of
+    /// `(I − Q₁Q₁ᵀ)Q₂` are the sines of the principal angles, and the
+    /// largest one is extracted by power iteration on the small Gram
+    /// matrix — avoiding the full SVD entirely. The Rayleigh-quotient
+    /// estimate converges from below, so the returned angle **never
+    /// exceeds** the exact [`OrthonormalBasis::largest_angle_to`]; after
+    /// convergence (relative change `< 1e-13`, at most 200 sweeps) the
+    /// gap is far below any tolerance used by the optimizers. The
+    /// iteration count is value-driven but deterministic: identical
+    /// inputs give identical bits.
+    ///
+    /// # Errors
+    ///
+    /// See [`OrthonormalBasis::angles_to`].
+    pub fn largest_angle_to_approx(&self, b: &Matrix) -> Result<f64, LinalgError> {
+        if self.q.rows() != b.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "principal_angles",
+                lhs: self.q.shape(),
+                rhs: b.shape(),
+            });
+        }
+        let q2 = qr::orthonormal_basis(b)?;
+        // M = Q₂ − Q₁(Q₁ᵀQ₂): columns of Q₂ minus their projection.
+        let proj = self.q.matmul(&self.q.transpose().matmul(&q2)?)?;
+        let m = &q2 - &proj;
+        // G = MᵀM is k×k symmetric PSD; its largest eigenvalue is
+        // sin²(γ_max).
+        let g = m.gram();
+        let k = g.rows();
+        // Deterministic start vector: uniform direction (never exactly
+        // orthogonal to the dominant eigenvector in float arithmetic for
+        // the matrices seen here; a zero G short-circuits to γ = 0).
+        let mut v = vec![1.0 / (k as f64).sqrt(); k];
+        let mut lambda = 0.0_f64;
+        for _ in 0..200 {
+            let w = g.matvec(&v)?;
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm <= 1e-300 {
+                return Ok(0.0); // G ≈ 0: subspaces coincide
+            }
+            let next: f64 = v.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            for (vi, wi) in v.iter_mut().zip(w.iter()) {
+                *vi = wi / norm;
+            }
+            if (next - lambda).abs() <= 1e-13 * next.abs() {
+                lambda = next;
+                break;
+            }
+            lambda = next;
+        }
+        Ok(lambda.max(0.0).sqrt().clamp(0.0, 1.0).asin())
+    }
 }
 
 /// The smallest principal angle `γ(a, b) ∈ [0, π/2]` (Definition V.1).
@@ -194,6 +304,49 @@ mod tests {
         let a = Matrix::zeros(3, 1);
         let b = Matrix::zeros(4, 1);
         assert!(principal_angles(&a, &b).is_err());
+        let basis = OrthonormalBasis::new(&Matrix::identity(3)).unwrap();
+        assert!(basis.angles_to(&b).is_err());
+    }
+
+    #[test]
+    fn approx_largest_angle_tracks_exact_from_below() {
+        let a = Matrix::from_rows(&[&[1.0, 0.3], &[0.2, 1.0], &[0.5, -0.4], &[0.0, 0.8]]).unwrap();
+        let basis = OrthonormalBasis::new(&a).unwrap();
+        for t in [0.0_f64, 0.05, 0.4, 1.1, 1.5] {
+            let b = Matrix::from_rows(&[
+                &[t.cos(), 0.3],
+                &[0.2, 1.0],
+                &[0.5 + t.sin(), -0.4],
+                &[t.sin(), 0.8],
+            ])
+            .unwrap();
+            let exact = basis.largest_angle_to(&b).unwrap();
+            let approx = basis.largest_angle_to_approx(&b).unwrap();
+            assert!(
+                approx <= exact + 1e-10,
+                "estimate must not exceed exact: {approx} vs {exact}"
+            );
+            assert!(
+                (exact - approx).abs() < 1e-7,
+                "estimate should be tight: {approx} vs {exact}"
+            );
+        }
+        // Identical subspaces short-circuit to zero.
+        assert!(basis.largest_angle_to_approx(&a.scale(3.0)).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn cached_basis_matches_direct_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 0.3], &[0.2, 1.0], &[0.5, -0.4], &[0.0, 0.8]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.9, -0.1], &[0.1, 0.7], &[0.3, 0.3], &[-0.2, 0.5]]).unwrap();
+        let basis = OrthonormalBasis::new(&a).unwrap();
+        let direct = principal_angles(&a, &b).unwrap();
+        let cached = basis.angles_to(&b).unwrap();
+        assert_eq!(direct, cached, "same algorithm, same bits");
+        assert_eq!(
+            basis.largest_angle_to(&b).unwrap(),
+            largest_principal_angle(&a, &b).unwrap()
+        );
     }
 
     #[test]

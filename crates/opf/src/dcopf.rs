@@ -24,7 +24,7 @@ use std::fmt;
 
 use gridmtd_powergrid::{dcpf, GenCost, GridError, Network};
 
-use crate::lp::{LpError, LpProblem, Relation};
+use crate::lp::{LpError, LpProblem, LpSolver, Relation};
 
 /// Options for the DC-OPF construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,13 +103,65 @@ pub struct OpfSolution {
     pub cost: f64,
 }
 
-/// Solves the DC-OPF for the given reactance vector.
+/// Reusable per-trajectory OPF state: the warm-startable LP engine.
+///
+/// The SPA-constrained selection (problem (4)) evaluates hundreds of
+/// DC-OPFs whose reactances drift along one Nelder–Mead trajectory while
+/// the LP's *structure* (variables, constraints, bound pattern) stays
+/// fixed. Reusing one `OpfContext` across those solves lets each LP
+/// warm-start from the previous optimal basis — typically skipping
+/// Phase 1 entirely — which is where the `select_mtd` speedup comes
+/// from. A context carries no problem data of its own: feeding it a
+/// different network or option set is always *correct* (the solver
+/// falls back to a cold start on any mismatch), just not fast.
+#[derive(Debug, Clone, Default)]
+pub struct OpfContext {
+    lp: LpSolver,
+}
+
+impl OpfContext {
+    /// Creates a fresh context (first solve is cold).
+    pub fn new() -> OpfContext {
+        OpfContext::default()
+    }
+
+    /// Number of OPF solves that hit the warm-start path.
+    pub fn warm_solves(&self) -> u64 {
+        self.lp.warm_solves()
+    }
+
+    /// Number of OPF solves that ran the cold two-phase path.
+    pub fn cold_solves(&self) -> u64 {
+        self.lp.cold_solves()
+    }
+}
+
+/// Solves the DC-OPF for the given reactance vector from a cold start.
+///
+/// Inside optimization loops prefer [`solve_opf_with`], which reuses the
+/// previous solve's simplex basis.
 ///
 /// # Errors
 ///
 /// * [`OpfError::Infeasible`] when the load cannot be served.
 /// * Reactance validation errors via [`OpfError::Grid`].
 pub fn solve_opf(net: &Network, x: &[f64], options: &OpfOptions) -> Result<OpfSolution, OpfError> {
+    solve_opf_with(net, x, options, &mut OpfContext::new())
+}
+
+/// Solves the DC-OPF, warm-starting the inner LP from the basis retained
+/// in `ctx` (see [`OpfContext`]).
+///
+/// # Errors
+///
+/// Same contract as [`solve_opf`]; warm and cold solves agree on the
+/// optimal cost.
+pub fn solve_opf_with(
+    net: &Network,
+    x: &[f64],
+    options: &OpfOptions,
+    ctx: &mut OpfContext,
+) -> Result<OpfSolution, OpfError> {
     net.check_reactances(x)?;
     let n = net.n_buses();
     let slack = net.slack();
@@ -183,7 +235,7 @@ pub fn solve_opf(net: &Network, x: &[f64], options: &OpfOptions) -> Result<OpfSo
         lp.add_constraint(coeffs, Relation::Ge, -br.flow_limit_mw);
     }
 
-    let sol = lp.solve()?;
+    let sol = ctx.lp.solve(&lp)?;
 
     let dispatch: Vec<f64> = gen_vars.iter().map(|&v| sol.x[v]).collect();
     // Recover flows/angles from a DC power flow at the LP dispatch: this
@@ -335,6 +387,39 @@ mod tests {
             constrained > base + 1.0,
             "congestion should raise cost: {base} -> {constrained}"
         );
+    }
+
+    #[test]
+    fn warm_context_matches_cold_solves_along_a_trajectory() {
+        // The in-loop usage pattern: one context, reactances drifting
+        // gradually the way a Nelder–Mead trajectory moves them.
+        for net in [cases::case14(), cases::case30()] {
+            let opts = OpfOptions::default();
+            let mut x = net.nominal_reactances();
+            let mut ctx = OpfContext::new();
+            for k in 0..10 {
+                for (j, l) in net.dfacts_branches().into_iter().enumerate() {
+                    let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                    x[l] *= 1.0 + sign * 0.004 * ((k % 3) as f64 + 1.0);
+                }
+                let warm = solve_opf_with(&net, &x, &opts, &mut ctx).unwrap();
+                let cold = solve_opf(&net, &x, &opts).unwrap();
+                assert!(
+                    (warm.cost - cold.cost).abs() <= 1e-6 * (1.0 + cold.cost.abs()),
+                    "{}: warm {} vs cold {}",
+                    net.name(),
+                    warm.cost,
+                    cold.cost
+                );
+            }
+            assert!(
+                ctx.warm_solves() >= 7,
+                "{}: warm path should carry the trajectory ({} warm / {} cold)",
+                net.name(),
+                ctx.warm_solves(),
+                ctx.cold_solves()
+            );
+        }
     }
 
     #[test]

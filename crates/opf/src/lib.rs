@@ -6,7 +6,16 @@
 //!   quadratic generator costs.
 //! * [`nlp`] — box-constrained Nelder–Mead and multistart, the
 //!   fmincon/MultiStart analogue used for reactance optimization
-//!   (problem (4)) by the `gridmtd-core` crate.
+//!   (problem (4)) by the `gridmtd-core` crate. Multistart fans its
+//!   independent starts across scoped threads with per-start RNG
+//!   streams, so parallel results are bit-identical to serial.
+//! * [`parallel`] — the scoped-thread fan-out helper shared by the
+//!   optimizer and the evaluation pipelines upstack.
+//!
+//! The LP layer exposes a warm-startable engine ([`lp::LpSolver`] /
+//! [`OpfContext`]): successive structurally identical solves reuse the
+//! previous optimal basis and skip simplex Phase 1 — the hot-path
+//! optimization behind `select_mtd`-style sweeps.
 //!
 //! # Example
 //!
@@ -25,6 +34,13 @@
 pub mod dcopf;
 pub mod lp;
 pub mod nlp;
+pub mod parallel;
 
-pub use dcopf::{solve_opf, solve_opf_nominal, OpfError, OpfOptions, OpfSolution};
-pub use nlp::{multistart, nelder_mead, MinimizeResult, NelderMeadOptions};
+pub use dcopf::{
+    solve_opf, solve_opf_nominal, solve_opf_with, OpfContext, OpfError, OpfOptions, OpfSolution,
+};
+pub use lp::LpSolver;
+pub use nlp::{
+    multistart, multistart_stateful, multistart_stateful_threads, multistart_with_threads,
+    nelder_mead, MinimizeResult, NelderMeadOptions,
+};

@@ -1,4 +1,5 @@
-//! Dense two-phase simplex solver for linear programs.
+//! Dense two-phase simplex solver for linear programs, with a
+//! warm-startable resolve engine.
 //!
 //! This is the LP engine under the DC optimal power flow (problem (1) of
 //! the paper). It accepts the natural modelling form — bounded or free
@@ -6,11 +7,27 @@
 //! form and solves with a dense two-phase simplex using Dantzig pricing
 //! and a Bland's-rule fallback for anti-cycling.
 //!
-//! Problem sizes in this workspace are tiny by LP standards (≲ 200 rows),
+//! Problem sizes in this workspace are tiny by LP standards (≲ 500 rows),
 //! so a dense tableau is the simplest robust choice.
+//!
+//! # Warm starts
+//!
+//! The selection optimizer (problem (4)) solves hundreds of structurally
+//! identical LPs whose coefficients drift slowly along one Nelder–Mead
+//! trajectory. [`LpSolver`] exploits this: it retains the optimal basis
+//! of the previous solve and, when the next problem has the same shape,
+//! re-factorizes that basis against the new data instead of running
+//! Phase 1 from scratch. If the saved basis is still optimal the resolve
+//! costs two small LU factorizations and one pricing pass; if it is
+//! primal feasible but not optimal, only Phase-2 pivots run; if it is
+//! stale (primal infeasible, singular, or the resolve hits the iteration
+//! limit) the solver falls back to the cold two-phase path, so warm and
+//! cold solves always agree on the optimum.
 
 use std::error::Error;
 use std::fmt;
+
+use gridmtd_linalg::{Lu, Matrix};
 
 /// Constraint relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +68,9 @@ pub enum LpError {
     },
     /// The simplex exceeded its iteration budget (indicates degeneracy or
     /// a modelling bug; not observed for the workspace's problems).
+    ///
+    /// A warm-started [`LpSolver`] resolve never surfaces this directly:
+    /// it falls back to a cold Phase-1 solve first.
     IterationLimit,
 }
 
@@ -132,7 +152,8 @@ impl LpProblem {
         self.constraints.len()
     }
 
-    /// Adds a constraint `Σ coeffs·x (rel) rhs`.
+    /// Adds a constraint `Σ coeffs·x (rel) rhs`. Repeated variable
+    /// indices in `coeffs` are summed.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
         self.constraints.push(LinearConstraint {
             coeffs,
@@ -141,7 +162,45 @@ impl LpProblem {
         });
     }
 
-    /// Solves the program.
+    /// Replaces variable `var`'s objective coefficient (an
+    /// objective-perturbation resolve point for [`LpSolver`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was never declared.
+    pub fn set_cost(&mut self, var: usize, cost: f64) {
+        self.obj[var] = cost;
+    }
+
+    /// Replaces constraint `idx`'s right-hand side (an RHS-perturbation
+    /// resolve point for [`LpSolver`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_rhs(&mut self, idx: usize, rhs: f64) {
+        self.constraints[idx].rhs = rhs;
+    }
+
+    /// Replaces variable `var`'s bounds.
+    ///
+    /// Note for warm starts: switching a bound between finite and
+    /// infinite changes the standard-form shape and silently degrades the
+    /// next [`LpSolver::solve`] to a cold start; perturbing finite bounds
+    /// keeps the warm path available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was never declared.
+    pub fn set_bounds(&mut self, var: usize, lower: f64, upper: f64) {
+        self.lower[var] = lower;
+        self.upper[var] = upper;
+    }
+
+    /// Solves the program from a cold start.
+    ///
+    /// For repeated solves of structurally identical problems prefer a
+    /// reused [`LpSolver`], which warm-starts from the previous basis.
     ///
     /// # Errors
     ///
@@ -150,191 +209,462 @@ impl LpProblem {
     ///   modelling mistakes.
     /// * [`LpError::IterationLimit`] if simplex stalls (not expected).
     pub fn solve(&self) -> Result<LpSolution, LpError> {
-        let n = self.n_vars();
-        for c in &self.constraints {
-            for &(v, _) in &c.coeffs {
-                if v >= n {
-                    return Err(LpError::UnknownVariable(v));
-                }
-            }
-        }
-        for v in 0..n {
-            if self.lower[v] > self.upper[v] {
-                return Err(LpError::EmptyBound { var: v });
-            }
-        }
-
-        // ---- Standardization ----------------------------------------
-        // Map each original variable to standard-form columns:
-        //   finite lower:      x = lo + y,        y >= 0 (+ row if upper finite)
-        //   only finite upper: x = hi - y,        y >= 0
-        //   free:              x = y+ - y-,       y± >= 0
-        #[derive(Clone, Copy)]
-        enum VarMap {
-            Shifted { col: usize, lo: f64 },
-            Flipped { col: usize, hi: f64 },
-            Split { pos: usize, neg: usize },
-        }
-        let mut maps: Vec<VarMap> = Vec::with_capacity(n);
-        let mut n_cols = 0usize;
-        for v in 0..n {
-            let (lo, hi) = (self.lower[v], self.upper[v]);
-            if lo.is_finite() {
-                maps.push(VarMap::Shifted { col: n_cols, lo });
-                n_cols += 1;
-            } else if hi.is_finite() {
-                maps.push(VarMap::Flipped { col: n_cols, hi });
-                n_cols += 1;
-            } else {
-                maps.push(VarMap::Split {
-                    pos: n_cols,
-                    neg: n_cols + 1,
-                });
-                n_cols += 2;
-            }
-        }
-
-        // Rows: user constraints + upper-bound rows for doubly-bounded vars.
-        struct Row {
-            coeffs: Vec<(usize, f64)>, // standard-form columns
-            rhs: f64,
-            relation: Relation,
-        }
-        let mut rows: Vec<Row> = Vec::new();
-
-        // helper: push (col, coef) for original var v with multiplier a,
-        // returning the constant displaced to the RHS.
-        let emit = |v: usize, a: f64, out: &mut Vec<(usize, f64)>| -> f64 {
-            match maps[v] {
-                VarMap::Shifted { col, lo } => {
-                    out.push((col, a));
-                    a * lo
-                }
-                VarMap::Flipped { col, hi } => {
-                    out.push((col, -a));
-                    a * hi
-                }
-                VarMap::Split { pos, neg } => {
-                    out.push((pos, a));
-                    out.push((neg, -a));
-                    0.0
-                }
-            }
-        };
-
-        for c in &self.constraints {
-            let mut coeffs = Vec::with_capacity(c.coeffs.len() + 2);
-            let mut shift = 0.0;
-            for &(v, a) in &c.coeffs {
-                shift += emit(v, a, &mut coeffs);
-            }
-            rows.push(Row {
-                coeffs,
-                rhs: c.rhs - shift,
-                relation: c.relation,
-            });
-        }
-        for (&map, &upper) in maps.iter().zip(self.upper.iter()) {
-            if let VarMap::Shifted { col, lo } = map {
-                if upper.is_finite() {
-                    rows.push(Row {
-                        coeffs: vec![(col, 1.0)],
-                        rhs: upper - lo,
-                        relation: Relation::Le,
-                    });
-                }
-            }
-        }
-
-        // Standard-form objective.
-        let mut cost = vec![0.0; n_cols];
-        let mut obj_const = 0.0;
-        for (&map, &cv) in maps.iter().zip(self.obj.iter()) {
-            if cv == 0.0 {
-                continue;
-            }
-            match map {
-                VarMap::Shifted { col, lo } => {
-                    cost[col] += cv;
-                    obj_const += cv * lo;
-                }
-                VarMap::Flipped { col, hi } => {
-                    cost[col] -= cv;
-                    obj_const += cv * hi;
-                }
-                VarMap::Split { pos, neg } => {
-                    cost[pos] += cv;
-                    cost[neg] -= cv;
-                }
-            }
-        }
-
-        // Slack/surplus columns, then ensure b >= 0 by row negation.
-        let m = rows.len();
-        let mut a = vec![vec![0.0; n_cols]; m]; // grown below
-        let mut b = vec![0.0; m];
-        let mut extra_cols = 0usize;
-        for (i, row) in rows.iter().enumerate() {
-            for &(col, coef) in &row.coeffs {
-                a[i][col] += coef;
-            }
-            b[i] = row.rhs;
-            if row.relation != Relation::Eq {
-                extra_cols += 1;
-            }
-        }
-        let total_cols = n_cols + extra_cols;
-        for row in a.iter_mut() {
-            row.resize(total_cols, 0.0);
-        }
-        let mut next = n_cols;
-        for (i, row) in rows.iter().enumerate() {
-            match row.relation {
-                Relation::Le => {
-                    a[i][next] = 1.0;
-                    next += 1;
-                }
-                Relation::Ge => {
-                    a[i][next] = -1.0;
-                    next += 1;
-                }
-                Relation::Eq => {}
-            }
-        }
-        for i in 0..m {
-            if b[i] < 0.0 {
-                b[i] = -b[i];
-                for x in a[i].iter_mut() {
-                    *x = -*x;
-                }
-            }
-        }
-        let mut cost_full = cost;
-        cost_full.resize(total_cols, 0.0);
-
-        let y = simplex_two_phase(&a, &b, &cost_full)?;
-
-        // Map back to original variables.
-        let mut x = vec![0.0; n];
-        for v in 0..n {
-            x[v] = match maps[v] {
-                VarMap::Shifted { col, lo } => lo + y[col],
-                VarMap::Flipped { col, hi } => hi - y[col],
-                VarMap::Split { pos, neg } => y[pos] - y[neg],
-            };
-        }
-        let objective = obj_const
-            + cost_full
-                .iter()
-                .zip(y.iter())
-                .map(|(c, yi)| c * yi)
-                .sum::<f64>();
-        Ok(LpSolution { x, objective })
+        let std = standardize(self)?;
+        let (y, _basis) = solve_cold(&std)?;
+        Ok(extract_solution(self, &std, &y))
     }
 }
 
+// ---------------------------------------------------------------------
+// Standardization (shared by cold and warm paths)
+// ---------------------------------------------------------------------
+
+/// Map from an original variable to its standard-form column(s).
+#[derive(Clone, Copy)]
+enum VarMap {
+    /// `x = lo + y`, `y ≥ 0` (+ an upper-bound row if `hi` finite).
+    Shifted { col: usize, lo: f64 },
+    /// `x = hi − y`, `y ≥ 0` (only an upper bound is finite).
+    Flipped { col: usize, hi: f64 },
+    /// `x = y⁺ − y⁻`, `y± ≥ 0` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+/// Standard-form image `min cᵀy, Ay = b, y ≥ 0, b ≥ 0` of an
+/// [`LpProblem`] (structural + slack/surplus columns; no artificials).
+///
+/// For a fixed modelling structure (variable count, bound
+/// finiteness pattern, constraint count and relations) the shape
+/// `(rows, total_cols)` and the column indexing are invariant under any
+/// perturbation of the numeric data — which is what makes a basis saved
+/// from one solve meaningful for the next.
+struct Standardized {
+    maps: Vec<VarMap>,
+    /// Dense rows over all `total_cols` columns.
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    /// Standard-form cost over all `total_cols` columns.
+    cost: Vec<f64>,
+    /// Constant displaced from the objective by the variable shifts.
+    obj_const: f64,
+    /// Structural + slack/surplus columns.
+    total_cols: usize,
+}
+
+fn standardize(lp: &LpProblem) -> Result<Standardized, LpError> {
+    let n = lp.n_vars();
+    for c in &lp.constraints {
+        for &(v, _) in &c.coeffs {
+            if v >= n {
+                return Err(LpError::UnknownVariable(v));
+            }
+        }
+    }
+    for v in 0..n {
+        if lp.lower[v] > lp.upper[v] {
+            return Err(LpError::EmptyBound { var: v });
+        }
+    }
+
+    // Map each original variable to standard-form columns.
+    let mut maps: Vec<VarMap> = Vec::with_capacity(n);
+    let mut n_cols = 0usize;
+    for v in 0..n {
+        let (lo, hi) = (lp.lower[v], lp.upper[v]);
+        if lo.is_finite() {
+            maps.push(VarMap::Shifted { col: n_cols, lo });
+            n_cols += 1;
+        } else if hi.is_finite() {
+            maps.push(VarMap::Flipped { col: n_cols, hi });
+            n_cols += 1;
+        } else {
+            maps.push(VarMap::Split {
+                pos: n_cols,
+                neg: n_cols + 1,
+            });
+            n_cols += 2;
+        }
+    }
+
+    // Rows: user constraints + upper-bound rows for doubly-bounded vars.
+    struct Row {
+        coeffs: Vec<(usize, f64)>, // standard-form columns
+        rhs: f64,
+        relation: Relation,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    // helper: push (col, coef) for original var v with multiplier a,
+    // returning the constant displaced to the RHS.
+    let emit = |v: usize, a: f64, out: &mut Vec<(usize, f64)>| -> f64 {
+        match maps[v] {
+            VarMap::Shifted { col, lo } => {
+                out.push((col, a));
+                a * lo
+            }
+            VarMap::Flipped { col, hi } => {
+                out.push((col, -a));
+                a * hi
+            }
+            VarMap::Split { pos, neg } => {
+                out.push((pos, a));
+                out.push((neg, -a));
+                0.0
+            }
+        }
+    };
+
+    for c in &lp.constraints {
+        let mut coeffs = Vec::with_capacity(c.coeffs.len() + 2);
+        let mut shift = 0.0;
+        for &(v, a) in &c.coeffs {
+            shift += emit(v, a, &mut coeffs);
+        }
+        rows.push(Row {
+            coeffs,
+            rhs: c.rhs - shift,
+            relation: c.relation,
+        });
+    }
+    for (&map, &upper) in maps.iter().zip(lp.upper.iter()) {
+        if let VarMap::Shifted { col, lo } = map {
+            if upper.is_finite() {
+                rows.push(Row {
+                    coeffs: vec![(col, 1.0)],
+                    rhs: upper - lo,
+                    relation: Relation::Le,
+                });
+            }
+        }
+    }
+
+    // Standard-form objective.
+    let mut cost = vec![0.0; n_cols];
+    let mut obj_const = 0.0;
+    for (&map, &cv) in maps.iter().zip(lp.obj.iter()) {
+        if cv == 0.0 {
+            continue;
+        }
+        match map {
+            VarMap::Shifted { col, lo } => {
+                cost[col] += cv;
+                obj_const += cv * lo;
+            }
+            VarMap::Flipped { col, hi } => {
+                cost[col] -= cv;
+                obj_const += cv * hi;
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] += cv;
+                cost[neg] -= cv;
+            }
+        }
+    }
+
+    // Slack/surplus columns, then ensure b >= 0 by row negation.
+    // Duplicate column indices (e.g. repeated variables in a constraint)
+    // accumulate via `+=` below.
+    let m = rows.len();
+    let mut a = vec![vec![0.0; n_cols]; m]; // grown below
+    let mut b = vec![0.0; m];
+    let mut extra_cols = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        for &(col, coef) in &row.coeffs {
+            a[i][col] += coef;
+        }
+        b[i] = row.rhs;
+        if row.relation != Relation::Eq {
+            extra_cols += 1;
+        }
+    }
+    let total_cols = n_cols + extra_cols;
+    for row in a.iter_mut() {
+        row.resize(total_cols, 0.0);
+    }
+    let mut next = n_cols;
+    for (i, row) in rows.iter().enumerate() {
+        match row.relation {
+            Relation::Le => {
+                a[i][next] = 1.0;
+                next += 1;
+            }
+            Relation::Ge => {
+                a[i][next] = -1.0;
+                next += 1;
+            }
+            Relation::Eq => {}
+        }
+    }
+    for i in 0..m {
+        if b[i] < 0.0 {
+            b[i] = -b[i];
+            for x in a[i].iter_mut() {
+                *x = -*x;
+            }
+        }
+    }
+    cost.resize(total_cols, 0.0);
+
+    Ok(Standardized {
+        maps,
+        a,
+        b,
+        cost,
+        obj_const,
+        total_cols,
+    })
+}
+
+/// Maps a standard-form point `y` back to an [`LpSolution`] over the
+/// original variables.
+fn extract_solution(lp: &LpProblem, std: &Standardized, y: &[f64]) -> LpSolution {
+    let n = lp.n_vars();
+    let mut x = vec![0.0; n];
+    for (xv, &map) in x.iter_mut().zip(std.maps.iter()) {
+        *xv = match map {
+            VarMap::Shifted { col, lo } => lo + y[col],
+            VarMap::Flipped { col, hi } => hi - y[col],
+            VarMap::Split { pos, neg } => y[pos] - y[neg],
+        };
+    }
+    let objective = std.obj_const
+        + std
+            .cost
+            .iter()
+            .zip(y.iter())
+            .map(|(c, yi)| c * yi)
+            .sum::<f64>();
+    LpSolution { x, objective }
+}
+
+// ---------------------------------------------------------------------
+// Warm-startable solver
+// ---------------------------------------------------------------------
+
+/// A reusable simplex engine that warm-starts successive solves from the
+/// previous optimal basis.
+///
+/// Feed it a sequence of structurally identical [`LpProblem`]s whose
+/// objective, right-hand sides, bounds, or even constraint coefficients
+/// drift between calls (the DC-OPF inner loop of problem (4) perturbs
+/// the constraint matrix through the reactances). Correctness never
+/// depends on the warm start: any mismatch — changed shape, singular or
+/// primal-infeasible saved basis, or an iteration-limited resolve —
+/// silently falls back to the cold two-phase solve.
+///
+/// # Example
+///
+/// ```
+/// use gridmtd_opf::lp::{LpProblem, LpSolver, Relation};
+///
+/// # fn main() -> Result<(), gridmtd_opf::lp::LpError> {
+/// let mut lp = LpProblem::new();
+/// let x = lp.add_var(0.0, 3.0, -1.0);
+/// let y = lp.add_var(0.0, 3.0, -2.0);
+/// lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+///
+/// let mut solver = LpSolver::new();
+/// let first = solver.solve(&lp)?; // cold
+/// lp.set_rhs(0, 3.5); // perturb and resolve warm
+/// let second = solver.solve(&lp)?;
+/// assert!(second.objective > first.objective); // tighter ⇒ costlier
+/// assert_eq!(solver.warm_solves(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LpSolver {
+    /// Saved optimal basis (standard-form column per row) and the shape
+    /// `(rows, total_cols)` it belongs to.
+    basis: Option<(Vec<usize>, (usize, usize))>,
+    warm_solves: u64,
+    cold_solves: u64,
+}
+
+impl LpSolver {
+    /// Creates a solver with no saved basis (first solve is cold).
+    pub fn new() -> LpSolver {
+        LpSolver::default()
+    }
+
+    /// Drops the saved basis; the next solve runs cold.
+    pub fn reset(&mut self) {
+        self.basis = None;
+    }
+
+    /// Number of solves completed through the warm path.
+    pub fn warm_solves(&self) -> u64 {
+        self.warm_solves
+    }
+
+    /// Number of solves completed through the cold two-phase path.
+    pub fn cold_solves(&self) -> u64 {
+        self.cold_solves
+    }
+
+    /// Solves `lp`, warm-starting from the previous solve's basis when
+    /// the standard-form shapes match.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpProblem::solve`]; warm and cold paths agree
+    /// on the optimal objective.
+    pub fn solve(&mut self, lp: &LpProblem) -> Result<LpSolution, LpError> {
+        let std = standardize(lp)?;
+        let shape = (std.a.len(), std.total_cols);
+
+        if let Some((saved, saved_shape)) = self.basis.take() {
+            if saved_shape == shape {
+                match warm_resolve(&std, &saved)? {
+                    WarmOutcome::Solved { y, basis } => {
+                        self.basis = Some((basis, shape));
+                        self.warm_solves += 1;
+                        return Ok(extract_solution(lp, &std, &y));
+                    }
+                    WarmOutcome::FallBackCold => {}
+                }
+            }
+        }
+
+        let (y, basis) = solve_cold(&std)?;
+        // Only a basis free of artificial columns can seed a warm start
+        // (redundant rows can leave a zero-valued artificial basic).
+        if basis.iter().all(|&j| j < std.total_cols) {
+            self.basis = Some((basis, shape));
+        }
+        self.cold_solves += 1;
+        Ok(extract_solution(lp, &std, &y))
+    }
+}
+
+/// Result of a warm-start attempt.
+enum WarmOutcome {
+    /// Optimum reached from the saved basis.
+    Solved { y: Vec<f64>, basis: Vec<usize> },
+    /// Saved basis unusable for this data; run the cold path.
+    FallBackCold,
+}
+
+/// Attempts to resolve the standardized problem from `saved`:
+///
+/// 1. factorize the basis matrix `B` and check primal feasibility of
+///    `x_B = B⁻¹b`;
+/// 2. price the nonbasic columns with the duals `y = B⁻ᵀc_B`; if no
+///    reduced cost is negative the saved basis is still optimal and the
+///    solve finishes without a single pivot;
+/// 3. otherwise build the Phase-2 tableau `B⁻¹[A | b]` and pivot to
+///    optimality (no artificials, no Phase 1).
+///
+/// Unboundedness discovered from a feasible basis is genuine and is
+/// propagated; an iteration-limited Phase 2 requests the cold fallback
+/// instead of erroring.
+fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpError> {
+    let m = std.a.len();
+    let n = std.total_cols;
+    if m == 0 || saved.len() != m || saved.iter().any(|&j| j >= n) {
+        return Ok(WarmOutcome::FallBackCold);
+    }
+
+    let bmat = Matrix::from_fn(m, m, |i, k| std.a[i][saved[k]]);
+    let Ok(lu) = Lu::factor(&bmat) else {
+        return Ok(WarmOutcome::FallBackCold); // singular basis
+    };
+    let Ok(xb) = lu.solve(&std.b) else {
+        return Ok(WarmOutcome::FallBackCold);
+    };
+    // The saved basis must be primal feasible for the new data.
+    if xb.iter().any(|&v| v < -1e-7) {
+        return Ok(WarmOutcome::FallBackCold);
+    }
+
+    // Duals and reduced costs: r_j = c_j − yᵀa_j, with the dual solve
+    // `Bᵀy = c_B` reusing the factorization of B.
+    let cb: Vec<f64> = saved.iter().map(|&j| std.cost[j]).collect();
+    let Ok(dual) = lu.solve_transposed(&cb) else {
+        return Ok(WarmOutcome::FallBackCold);
+    };
+    let mut in_basis = vec![false; n];
+    for &j in saved {
+        in_basis[j] = true;
+    }
+    let mut still_optimal = true;
+    for (j, &basic) in in_basis.iter().enumerate() {
+        if basic {
+            continue;
+        }
+        let mut r = std.cost[j];
+        for (&di, row) in dual.iter().zip(std.a.iter()) {
+            if di != 0.0 {
+                r -= di * row[j];
+            }
+        }
+        if r < -TOL {
+            still_optimal = false;
+            break;
+        }
+    }
+    if still_optimal {
+        let mut y = vec![0.0; n];
+        for (k, &j) in saved.iter().enumerate() {
+            y[j] = xb[k].max(0.0);
+        }
+        return Ok(WarmOutcome::Solved {
+            y,
+            basis: saved.to_vec(),
+        });
+    }
+
+    // Saved basis is feasible but no longer optimal: express the tableau
+    // in that basis (t = B⁻¹[A | b]) and run Phase-2 pivots only.
+    let Ok(binv) = lu.inverse() else {
+        return Ok(WarmOutcome::FallBackCold);
+    };
+    let width = n + 1;
+    let mut t = vec![vec![0.0; width]; m];
+    for i in 0..m {
+        for k in 0..m {
+            let w = binv[(i, k)];
+            if w != 0.0 {
+                let (ti, ak) = (&mut t[i], &std.a[k]);
+                for (tij, &akj) in ti.iter_mut().zip(ak.iter()) {
+                    *tij += w * akj;
+                }
+            }
+        }
+        t[i][n] = xb[i].max(0.0);
+    }
+    let mut basis = saved.to_vec();
+    match run_simplex(&mut t, &mut basis, &std.cost, n) {
+        Ok(_) => {
+            let mut y = vec![0.0; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    y[basis[i]] = t[i][width - 1];
+                }
+            }
+            Ok(WarmOutcome::Solved { y, basis })
+        }
+        // A stalled warm resolve is recoverable: retry cold.
+        Err(LpError::IterationLimit) => Ok(WarmOutcome::FallBackCold),
+        // Unbounded from a feasible basis is a property of the problem.
+        Err(e) => Err(e),
+    }
+}
+
+/// Cold two-phase solve of a standardized problem; returns the optimal
+/// standard-form point and its basis.
+fn solve_cold(std: &Standardized) -> Result<(Vec<f64>, Vec<usize>), LpError> {
+    simplex_two_phase(&std.a, &std.b, &std.cost)
+}
+
 /// Two-phase simplex on standard form `min cᵀy, Ay = b, y ≥ 0, b ≥ 0`.
-fn simplex_two_phase(a: &[Vec<f64>], b: &[f64], cost: &[f64]) -> Result<Vec<f64>, LpError> {
+/// Returns the optimal point and the final basis (which may contain
+/// artificial column indices `≥ n` for redundant rows).
+fn simplex_two_phase(
+    a: &[Vec<f64>],
+    b: &[f64],
+    cost: &[f64],
+) -> Result<(Vec<f64>, Vec<usize>), LpError> {
     let m = a.len();
     let n = if m > 0 { a[0].len() } else { cost.len() };
     if m == 0 {
@@ -344,7 +674,7 @@ fn simplex_two_phase(a: &[Vec<f64>], b: &[f64], cost: &[f64]) -> Result<Vec<f64>
         if cost.iter().any(|&c| c < -TOL) {
             return Err(LpError::Unbounded);
         }
-        return Ok(vec![0.0; n]);
+        return Ok((vec![0.0; n], Vec::new()));
     }
 
     // Tableau: m rows × (n + m artificials + 1 rhs).
@@ -389,7 +719,7 @@ fn simplex_two_phase(a: &[Vec<f64>], b: &[f64], cost: &[f64]) -> Result<Vec<f64>
             y[basis[i]] = t[i][width - 1];
         }
     }
-    Ok(y)
+    Ok((y, basis))
 }
 
 /// Runs simplex iterations on the tableau for the given cost vector,
@@ -619,6 +949,25 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_coefficients_are_summed_for_free_variables() {
+        // A free variable standardizes to a split pair (y⁺, y⁻); repeated
+        // indices must accumulate on both columns. min x s.t.
+        // 0.5x + 0.5x >= -4, x <= 0 (via second constraint) → x = -4.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_constraint(vec![(x, 0.5), (x, 0.5)], Relation::Ge, -4.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.x[0], -4.0, 1e-9);
+        // And the duplicate-summed constraint is honoured warm too.
+        let mut solver = LpSolver::new();
+        let warm_seed = solver.solve(&lp).unwrap();
+        assert_close(warm_seed.objective, -4.0, 1e-9);
+        lp.set_rhs(0, -3.0);
+        let resolved = solver.solve(&lp).unwrap();
+        assert_close(resolved.x[0], -3.0, 1e-9);
+    }
+
+    #[test]
     fn transportation_problem() {
         // 2 plants (cap 30, 40) → 2 cities (demand 25, 35), costs
         // [[8,6],[9,4]]; optimum ships 25 from p1 to c1, 5 p1→c2? Let's
@@ -651,5 +1000,133 @@ mod tests {
         // optimum: y=-3 frees x up to 2 → x=2? x+y = -1 <= 0.5 OK → x=2,y=-3.
         assert_close(sol.x[0], 2.0, 1e-9);
         assert_close(sol.x[1], -3.0, 1e-9);
+    }
+
+    // ---- LpSolver warm-start behaviour --------------------------------
+
+    /// A small transportation-flavoured LP whose optimum sits strictly
+    /// inside the capacity bounds, so modest RHS drift keeps the basis
+    /// reusable; used by several warm-start tests.
+    fn warmable_lp() -> LpProblem {
+        let mut lp = LpProblem::new();
+        let a = lp.add_var(0.0, 25.0, 8.0);
+        let b = lp.add_var(0.0, 25.0, 6.0);
+        let c = lp.add_var(0.0, 30.0, 9.0);
+        let d = lp.add_var(0.0, 30.0, 4.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Le, 30.0);
+        lp.add_constraint(vec![(c, 1.0), (d, 1.0)], Relation::Le, 40.0);
+        lp.add_constraint(vec![(a, 1.0), (c, 1.0)], Relation::Eq, 20.0);
+        lp.add_constraint(vec![(b, 1.0), (d, 1.0)], Relation::Eq, 25.0);
+        lp
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_rhs_perturbation() {
+        let mut lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        assert_eq!(solver.cold_solves(), 1);
+        for (demand1, demand2) in [(21.0, 26.0), (22.5, 24.0), (19.0, 27.0), (23.0, 25.5)] {
+            lp.set_rhs(2, demand1);
+            lp.set_rhs(3, demand2);
+            let warm = solver.solve(&lp).unwrap();
+            let cold = lp.solve().unwrap();
+            assert_close(warm.objective, cold.objective, 1e-9);
+        }
+        assert!(solver.warm_solves() >= 3, "warm path should engage");
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_objective_perturbation() {
+        let mut lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        // Flip the merit order so the optimal basis genuinely changes.
+        lp.set_cost(3, 12.0);
+        lp.set_cost(0, 3.0);
+        let warm = solver.solve(&lp).unwrap();
+        let cold = lp.solve().unwrap();
+        assert_close(warm.objective, cold.objective, 1e-9);
+        assert_eq!(solver.warm_solves(), 1);
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_bound_perturbation() {
+        let mut lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        lp.set_bounds(3, 0.0, 22.0); // clamp the cheap route
+        let warm = solver.solve(&lp).unwrap();
+        let cold = lp.solve().unwrap();
+        assert_close(warm.objective, cold.objective, 1e-9);
+    }
+
+    #[test]
+    fn unchanged_problem_resolves_without_pivots() {
+        let lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        let first = solver.solve(&lp).unwrap();
+        let second = solver.solve(&lp).unwrap();
+        assert_close(first.objective, second.objective, 1e-12);
+        assert_eq!(solver.warm_solves(), 1);
+        assert_eq!(solver.cold_solves(), 1);
+    }
+
+    #[test]
+    fn shape_change_degrades_to_cold() {
+        let lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        // A structurally different problem must not try the stale basis.
+        let mut other = LpProblem::new();
+        let x = other.add_var(0.0, 5.0, 1.0);
+        other.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let sol = solver.solve(&other).unwrap();
+        assert_close(sol.x[0], 2.0, 1e-9);
+        assert_eq!(solver.cold_solves(), 2);
+        assert_eq!(solver.warm_solves(), 0);
+    }
+
+    #[test]
+    fn warm_start_reports_infeasibility_via_cold_path() {
+        let mut lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        lp.set_rhs(2, 60.0); // demand beyond both plant capacities
+        assert_eq!(solver.solve(&lp).unwrap_err(), LpError::Infeasible);
+        // ...and the solver recovers on the next solvable instance.
+        lp.set_rhs(2, 20.0);
+        let sol = solver.solve(&lp).unwrap();
+        assert_close(sol.objective, lp.solve().unwrap().objective, 1e-9);
+    }
+
+    #[test]
+    fn reset_forces_cold_solve() {
+        let lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        solver.reset();
+        solver.solve(&lp).unwrap();
+        assert_eq!(solver.cold_solves(), 2);
+        assert_eq!(solver.warm_solves(), 0);
+    }
+
+    #[test]
+    fn warm_resolve_handles_constraint_matrix_drift() {
+        // The DC-OPF use case: the constraint *coefficients* drift (the
+        // reactances move), not just b and c. Model: min x+y subject to
+        // a1·x + y >= 4, x,y in [0,10], sweeping a1.
+        let mut solver = LpSolver::new();
+        for k in 0..12 {
+            let a1 = 1.0 + 0.05 * k as f64;
+            let mut lp = LpProblem::new();
+            let x = lp.add_var(0.0, 10.0, 1.0);
+            let y = lp.add_var(0.0, 10.0, 1.0);
+            lp.add_constraint(vec![(x, a1), (y, 1.0)], Relation::Ge, 4.0);
+            let warm = solver.solve(&lp).unwrap();
+            let cold = lp.solve().unwrap();
+            assert_close(warm.objective, cold.objective, 1e-9);
+        }
+        assert!(solver.warm_solves() >= 10);
     }
 }

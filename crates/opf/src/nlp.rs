@@ -210,13 +210,22 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
 /// random interior points, returning the best result (the analogue of
 /// fmincon + MultiStart in the paper's Section VII-A).
 ///
-/// Deterministic for a fixed `seed`.
+/// The independent starts fan out across scoped worker threads (see
+/// [`crate::parallel`]). Each start `s` draws its point from its own RNG
+/// stream seeded with `seed ⊕ s`, so the result is a pure function of
+/// `(f, x0, bounds, n_starts, seed, opts)` — **bit-identical** for any
+/// worker count, including serial, and independent of the order starts
+/// happen to finish in. Ties between starts keep the lowest start index,
+/// matching the serial scan.
+///
+/// For objectives that carry per-trajectory mutable state (warm-started
+/// OPF solves), use [`multistart_stateful`].
 ///
 /// # Panics
 ///
 /// Panics if `n_starts == 0` or the bound slices mismatch.
-pub fn multistart<F: FnMut(&[f64]) -> f64>(
-    mut f: F,
+pub fn multistart<F: Fn(&[f64]) -> f64 + Sync>(
+    f: F,
     x0: &[f64],
     lower: &[f64],
     upper: &[f64],
@@ -224,26 +233,135 @@ pub fn multistart<F: FnMut(&[f64]) -> f64>(
     seed: u64,
     opts: &NelderMeadOptions,
 ) -> MinimizeResult {
+    multistart_with_threads(
+        f,
+        x0,
+        lower,
+        upper,
+        n_starts,
+        seed,
+        opts,
+        crate::parallel::available_threads(),
+    )
+}
+
+/// [`multistart`] with an explicit worker count (`threads <= 1` is the
+/// serial reference execution; any other count returns identical bits).
+#[allow(clippy::too_many_arguments)]
+pub fn multistart_with_threads<F: Fn(&[f64]) -> f64 + Sync>(
+    f: F,
+    x0: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    n_starts: usize,
+    seed: u64,
+    opts: &NelderMeadOptions,
+    threads: usize,
+) -> MinimizeResult {
+    let f = &f;
+    multistart_stateful_threads(
+        |_start| move |x: &[f64]| f(x),
+        x0,
+        lower,
+        upper,
+        n_starts,
+        seed,
+        opts,
+        threads,
+    )
+}
+
+/// Multistart over *stateful* objectives: `build(s)` constructs the
+/// objective for start `s`, and that objective may carry mutable state
+/// across its own evaluations (e.g. an OPF context whose LP solver
+/// warm-starts along the Nelder–Mead trajectory).
+///
+/// Because every start gets a freshly built objective, the per-start
+/// evaluation sequences — and therefore the result — are identical
+/// whether starts run serially or on worker threads.
+///
+/// # Panics
+///
+/// Panics if `n_starts == 0` or the bound slices mismatch.
+pub fn multistart_stateful<O, B>(
+    build: B,
+    x0: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    n_starts: usize,
+    seed: u64,
+    opts: &NelderMeadOptions,
+) -> MinimizeResult
+where
+    B: Fn(usize) -> O + Sync,
+    O: FnMut(&[f64]) -> f64,
+{
+    multistart_stateful_threads(
+        build,
+        x0,
+        lower,
+        upper,
+        n_starts,
+        seed,
+        opts,
+        crate::parallel::available_threads(),
+    )
+}
+
+/// [`multistart_stateful`] with an explicit worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn multistart_stateful_threads<O, B>(
+    build: B,
+    x0: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    n_starts: usize,
+    seed: u64,
+    opts: &NelderMeadOptions,
+    threads: usize,
+) -> MinimizeResult
+where
+    B: Fn(usize) -> O + Sync,
+    O: FnMut(&[f64]) -> f64,
+{
     assert!(n_starts > 0, "need at least one start");
-    let mut rng = StdRng::seed_from_u64(seed);
+    assert_eq!(lower.len(), x0.len(), "bounds length mismatch");
+    assert_eq!(upper.len(), x0.len(), "bounds length mismatch");
+
+    // Start points first: start 0 is the warm start, start s > 0 draws
+    // from its own stream seeded `seed ⊕ s`. Deriving the seed from the
+    // start *index* — not from a shared sequential stream — is what
+    // keeps serial and parallel runs (and any future start-count change
+    // for the shared prefix) in exact agreement.
+    let starts: Vec<Vec<f64>> = (0..n_starts)
+        .map(|s| {
+            if s == 0 {
+                x0.to_vec()
+            } else {
+                let mut rng = StdRng::seed_from_u64(seed ^ s as u64);
+                (0..x0.len())
+                    .map(|i| {
+                        if upper[i] > lower[i] {
+                            rng.gen_range(lower[i]..upper[i])
+                        } else {
+                            lower[i]
+                        }
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+
+    let results = crate::parallel::par_map_threads(threads, &starts, |s, start| {
+        let mut objective = build(s);
+        nelder_mead(&mut objective, start, lower, upper, opts)
+    });
+
+    let total_evals: usize = results.iter().map(|r| r.evals).sum();
     let mut best: Option<MinimizeResult> = None;
-    let mut total_evals = 0usize;
-    for s in 0..n_starts {
-        let start: Vec<f64> = if s == 0 {
-            x0.to_vec()
-        } else {
-            (0..x0.len())
-                .map(|i| {
-                    if upper[i] > lower[i] {
-                        rng.gen_range(lower[i]..upper[i])
-                    } else {
-                        lower[i]
-                    }
-                })
-                .collect()
-        };
-        let r = nelder_mead(&mut f, &start, lower, upper, opts);
-        total_evals += r.evals;
+    for r in results {
+        // Strict improvement keeps the earliest start on ties, exactly
+        // like the serial scan.
         if best.as_ref().is_none_or(|b| r.f < b.f) {
             best = Some(r);
         }
@@ -362,6 +480,73 @@ mod tests {
         );
         assert_eq!(a.x, b.x);
         assert_eq!(a.f, b.f);
+    }
+
+    #[test]
+    fn multistart_parallel_is_bit_identical_to_serial() {
+        // The determinism contract: per-start seed streams make the
+        // worker count unobservable in the result.
+        let f = |x: &[f64]| {
+            (x[0] - 0.7).powi(2) * (x[1] + 1.1).cos() + (3.0 * x[0]).sin() + 0.05 * x[1] * x[1]
+        };
+        let serial = multistart_with_threads(
+            f,
+            &[0.0, 0.0],
+            &[-4.0, -4.0],
+            &[4.0, 4.0],
+            9,
+            1234,
+            &NelderMeadOptions::default(),
+            1,
+        );
+        for threads in [2, 4, 16] {
+            let parallel = multistart_with_threads(
+                f,
+                &[0.0, 0.0],
+                &[-4.0, -4.0],
+                &[4.0, 4.0],
+                9,
+                1234,
+                &NelderMeadOptions::default(),
+                threads,
+            );
+            assert!(
+                serial
+                    .x
+                    .iter()
+                    .zip(parallel.x.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}: {:?} vs {:?}",
+                serial.x,
+                parallel.x
+            );
+            assert_eq!(serial.f.to_bits(), parallel.f.to_bits());
+            assert_eq!(serial.evals, parallel.evals);
+        }
+    }
+
+    #[test]
+    fn multistart_stateful_builds_one_objective_per_start() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let built = AtomicUsize::new(0);
+        let r = multistart_stateful(
+            |_s| {
+                built.fetch_add(1, Ordering::Relaxed);
+                let mut evals_here = 0usize; // per-start mutable state
+                move |x: &[f64]| {
+                    evals_here += 1;
+                    (x[0] - 1.5).powi(2) + evals_here as f64 * 0.0
+                }
+            },
+            &[0.0],
+            &[-3.0],
+            &[3.0],
+            5,
+            11,
+            &NelderMeadOptions::default(),
+        );
+        assert_eq!(built.load(Ordering::Relaxed), 5);
+        assert!((r.x[0] - 1.5).abs() < 1e-4);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Scoped-thread fan-out for the workspace's embarrassingly parallel
+//! loops (multistart runs, per-attack scoring, threshold sweeps).
+//!
+//! Built on `std::thread::scope` only — no external runtime — and
+//! written so results are **independent of scheduling**: workers pull
+//! indices from a shared counter but every result lands back in its
+//! item's slot, so [`par_map`] returns exactly what the equivalent
+//! serial `map` would, in the same order. Combined with per-item RNG
+//! streams (seeded by index, never shared) this gives the workspace its
+//! determinism contract: parallel output is bit-identical to serial.
+//!
+//! The worker count comes from [`available_threads`]: the
+//! `GRIDMTD_THREADS` environment variable when set, otherwise
+//! [`std::thread::available_parallelism`]. Nested fan-outs (a parallel
+//! threshold sweep whose inner multistart also fans out) are allowed;
+//! they briefly oversubscribe the machine but never deadlock, since
+//! every layer spawns plain scoped threads.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count used by [`par_map`]: `GRIDMTD_THREADS` if set (minimum
+/// 1), else the machine's available parallelism.
+pub fn available_threads() -> usize {
+    if let Ok(v) = std::env::var("GRIDMTD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`available_threads`] workers, preserving
+/// input order in the output.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(available_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`threads <= 1` runs
+/// inline with no thread machinery — the serial reference path).
+///
+/// The output is bit-identical for every `threads` value as long as `f`
+/// itself is a pure function of `(index, item)`.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial = par_map_threads(1, &items, |i, &v| i * 1000 + v * v);
+        let parallel = par_map_threads(8, &items, |i, &v| i * 1000 + v * v);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 5 * 1000 + 25);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map_threads(4, &empty, |_, &v| v).is_empty());
+        assert_eq!(par_map_threads(4, &[7u8], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        // Float accumulation per item is self-contained, so any worker
+        // count produces the same bits.
+        let items: Vec<f64> = (0..64).map(|i| 0.1 * i as f64).collect();
+        let reference = par_map_threads(1, &items, |i, &v| (v.sin() * i as f64).exp());
+        for threads in [2, 3, 8, 64] {
+            let out = par_map_threads(threads, &items, |i, &v| (v.sin() * i as f64).exp());
+            assert!(reference
+                .iter()
+                .zip(out.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_threads(4, &items, |_, &v| {
+                assert!(v != 9, "boom");
+                v
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

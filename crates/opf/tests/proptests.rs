@@ -1,0 +1,181 @@
+//! Property-based tests for the warm-started LP engine and the DC-OPF
+//! on the synthetic scale cases.
+//!
+//! Two contracts are fenced here:
+//!
+//! 1. **Warm == cold.** A warm-started resolve after random
+//!    objective/RHS/bound perturbations must land on the same optimal
+//!    objective as a from-scratch solve (within 1e-9), or agree on the
+//!    failure mode.
+//! 2. **Physics invariants at scale.** DC power flow and DC-OPF on
+//!    `case57`/`case118` satisfy flow balance at every bus, and the OPF
+//!    respects generator and line limits.
+
+use gridmtd_opf::lp::{LpProblem, LpSolver, Relation};
+use gridmtd_opf::{solve_opf, OpfOptions};
+use gridmtd_powergrid::{cases, dcpf, Network};
+use proptest::prelude::*;
+
+/// A feasible, bounded random LP: box-bounded variables plus a few `≤`
+/// constraints with nonnegative RHS (x = lower bound shifted to zero is
+/// always feasible; the box keeps it bounded).
+fn random_lp(
+    n_vars: usize,
+    n_cons: usize,
+) -> impl Strategy<Value = (LpProblem, Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-4.0..4.0f64, n_vars), // costs
+        proptest::collection::vec(0.5..6.0f64, n_vars),  // widths
+        proptest::collection::vec(-2.0..2.0f64, n_vars * n_cons), // coeffs
+        proptest::collection::vec(1.0..8.0f64, n_cons),  // rhs
+    )
+        .prop_map(move |(costs, widths, coeffs, rhs)| {
+            let mut lp = LpProblem::new();
+            for v in 0..n_vars {
+                lp.add_var(0.0, widths[v], costs[v]);
+            }
+            for c in 0..n_cons {
+                let row: Vec<(usize, f64)> =
+                    (0..n_vars).map(|v| (v, coeffs[c * n_vars + v])).collect();
+                lp.add_constraint(row, Relation::Le, rhs[c]);
+            }
+            (lp, costs, rhs)
+        })
+}
+
+/// Flow balance: at every bus, injection − load must equal the net flow
+/// leaving the bus.
+fn assert_flow_balance(net: &Network, pf: &dcpf::PowerFlow, tol: f64) {
+    for i in 0..net.n_buses() {
+        let mut outflow = 0.0;
+        for (l, br) in net.branches().iter().enumerate() {
+            if br.from == i {
+                outflow += pf.flows[l];
+            }
+            if br.to == i {
+                outflow -= pf.flows[l];
+            }
+        }
+        assert!(
+            (pf.injections[i] - outflow).abs() < tol,
+            "bus {i}: injection {} vs outflow {outflow}",
+            pf.injections[i]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warm_resolve_matches_cold_on_perturbed_lps(
+        (lp, costs, rhs) in random_lp(5, 4),
+        dcost in proptest::collection::vec(-0.3..0.3f64, 5),
+        drhs in proptest::collection::vec(-0.5..0.5f64, 4),
+        dupper in 0.0..0.5f64,
+    ) {
+        let mut solver = LpSolver::new();
+        let first = solver.solve(&lp);
+        prop_assert!(first.is_ok(), "the base LP is feasible and bounded by construction");
+
+        // Random objective + RHS + bound perturbation, then warm resolve.
+        let mut perturbed = lp.clone();
+        for (v, d) in dcost.iter().enumerate() {
+            perturbed.set_cost(v, costs[v] + d);
+        }
+        for (c, d) in drhs.iter().enumerate() {
+            perturbed.set_rhs(c, (rhs[c] + d).max(0.1));
+        }
+        perturbed.set_bounds(0, 0.0, 1.0 + dupper);
+
+        let warm = solver.solve(&perturbed);
+        let cold = perturbed.solve();
+        match (warm, cold) {
+            (Ok(w), Ok(c)) => prop_assert!(
+                (w.objective - c.objective).abs() <= 1e-9 * (1.0 + c.objective.abs()),
+                "warm {} vs cold {}",
+                w.objective,
+                c.objective
+            ),
+            (w, c) => prop_assert_eq!(w, c, "warm and cold must agree on failure mode"),
+        }
+    }
+
+    #[test]
+    fn warm_chain_stays_consistent_over_many_resolves(
+        (lp, _costs, rhs) in random_lp(4, 3),
+        steps in proptest::collection::vec((0..3usize, -0.4..0.4f64), 6),
+    ) {
+        // One solver fed a drifting sequence must match cold at every step.
+        let mut solver = LpSolver::new();
+        let mut current = lp.clone();
+        if current.solve().is_err() {
+            return Ok(()); // base must be solvable to seed the chain
+        }
+        solver.solve(&current).unwrap();
+        for (c, d) in steps {
+            current.set_rhs(c, (rhs[c] + d).max(0.1));
+            let warm = solver.solve(&current);
+            let cold = current.solve();
+            match (warm, cold) {
+                (Ok(w), Ok(cc)) => prop_assert!(
+                    (w.objective - cc.objective).abs() <= 1e-9 * (1.0 + cc.objective.abs())
+                ),
+                (w, cc) => prop_assert_eq!(w, cc),
+            }
+        }
+    }
+
+    #[test]
+    fn dc_power_flow_balances_on_scale_cases(
+        shares in proptest::collection::vec(0.2..1.0f64, 16),
+        which in 0..2usize,
+    ) {
+        let net = if which == 0 { cases::case57() } else { cases::case118() };
+        // Random (not merit-order) dispatch proportional to random
+        // shares, scaled to cover the load; the slack bus absorbs the
+        // residual imbalance.
+        let total: f64 = shares.iter().take(net.n_gens()).sum();
+        let dispatch: Vec<f64> = shares
+            .iter()
+            .take(net.n_gens())
+            .map(|s| s / total * net.total_load())
+            .collect();
+        let x = net.nominal_reactances();
+        let pf = dcpf::solve_dispatch(&net, &x, &dispatch).unwrap();
+        assert_flow_balance(&net, &pf, 1e-6);
+        // Injections must realize the requested dispatch minus load.
+        let realized: f64 = pf.injections.iter().sum();
+        prop_assert!(realized.abs() < 1e-6, "loads fully served: {realized}");
+    }
+}
+
+/// Deterministic (non-proptest) invariant check for the OPF on both
+/// scale cases: one release-mode solve each is enough, and keeps the
+/// expensive `case118` LP out of the 48-case proptest loop.
+#[test]
+fn dc_opf_respects_limits_on_scale_cases() {
+    for net in [cases::case57(), cases::case118()] {
+        let x = net.nominal_reactances();
+        let sol = solve_opf(&net, &x, &OpfOptions::default()).unwrap();
+        let total: f64 = sol.dispatch.iter().sum();
+        assert!(
+            (total - net.total_load()).abs() < 1e-5,
+            "{}: generation {total} must balance load {}",
+            net.name(),
+            net.total_load()
+        );
+        for (g, d) in net.gens().iter().zip(sol.dispatch.iter()) {
+            assert!(*d >= g.pmin_mw - 1e-7 && *d <= g.pmax_mw + 1e-7);
+        }
+        for (l, br) in net.branches().iter().enumerate() {
+            assert!(
+                sol.flows[l].abs() <= br.flow_limit_mw + 1e-5,
+                "{}: line {l} over limit",
+                net.name()
+            );
+        }
+        let pf = dcpf::solve_dispatch(&net, &x, &sol.dispatch).unwrap();
+        assert_flow_balance(&net, &pf, 1e-6);
+    }
+}

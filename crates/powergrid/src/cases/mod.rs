@@ -11,6 +11,8 @@
 //! * [`synthetic`] — random connected meshed networks of arbitrary size
 //!   for scaling studies (substitute for copying additional IEEE
 //!   datasets).
+//! * [`case57`] / [`case118`] — pinned-seed synthetic networks at
+//!   IEEE-57 and IEEE-118 scale, the benchmark suite's larger rungs.
 
 mod case14;
 mod case30;
@@ -20,4 +22,4 @@ mod synthetic;
 pub use case14::case14;
 pub use case30::case30;
 pub use case4::case4;
-pub use synthetic::{synthetic, SyntheticConfig};
+pub use synthetic::{case118, case57, synthetic, SyntheticConfig};

@@ -13,6 +13,10 @@
 //!   `cargo bench -- --test`) switches to smoke mode: every routine runs
 //!   exactly once, untimed, so CI can keep the targets compiling and
 //!   running cheaply;
+//! * positional (non-flag) command-line arguments act as substring
+//!   filters on benchmark ids, mirroring upstream criterion's
+//!   `cargo bench -- <filter>`; non-matching benchmarks are skipped
+//!   entirely — how CI measures only its regression-gated rows;
 //! * setting `GRIDMTD_BENCH_JSON=<path>` appends one JSON object per
 //!   benchmark (`{"bench":…,"mean_ns":…,"iters":…}`) to `<path>`, which is
 //!   how the workspace snapshots `BENCH_seed.json`-style baselines.
@@ -119,6 +123,7 @@ pub struct Criterion {
     warm_up_time: Duration,
     mode: Mode,
     json_out: Option<std::path::PathBuf>,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
@@ -129,6 +134,7 @@ impl Default for Criterion {
             warm_up_time: Duration::from_millis(300),
             mode: Mode::Measure,
             json_out: None,
+            filters: Vec::new(),
         }
     }
 }
@@ -152,21 +158,30 @@ impl Criterion {
         self
     }
 
-    /// Applies command-line arguments (`--test` for smoke mode) and the
+    /// Applies command-line arguments (`--test` for smoke mode,
+    /// positional args as id substring filters) and the
     /// `GRIDMTD_BENCH_JSON` snapshot path; called by [`criterion_main!`].
     pub fn configure_from_args(mut self) -> Self {
-        if std::env::args().any(|a| a == "--test") {
-            self.mode = Mode::Smoke;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.mode = Mode::Smoke;
+            } else if !arg.starts_with('-') {
+                self.filters.push(arg);
+            }
         }
         self.json_out = std::env::var_os("GRIDMTD_BENCH_JSON").map(Into::into);
         self
     }
 
-    /// Runs one benchmark and reports it.
+    /// Runs one benchmark and reports it. Skipped (not run, not
+    /// reported) when filters are active and none matches `id`.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.filters.is_empty() && !self.filters.iter().any(|flt| id.contains(flt.as_str())) {
+            return self;
+        }
         let mut bencher = Bencher {
             mode: self.mode,
             warm_up: self.warm_up_time,
@@ -297,6 +312,21 @@ mod tests {
         let mut runs = 0u64;
         c.bench_function("unit/measure", |b| b.iter(|| runs += 1));
         assert!(runs > 1);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filters: vec!["dc_opf/case30".into()],
+            ..Criterion::default()
+        };
+        let mut matched = 0u64;
+        let mut skipped = 0u64;
+        c.bench_function("dc_opf/case30", |b| b.iter(|| matched += 1));
+        c.bench_function("gamma/case14", |b| b.iter(|| skipped += 1));
+        assert_eq!(matched, 1);
+        assert_eq!(skipped, 0);
     }
 
     #[test]
