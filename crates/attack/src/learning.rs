@@ -1,7 +1,7 @@
 //! Attacker-side subspace learning — the knowledge-decay model behind
 //! the paper's choice of MTD period (Section IV-A).
 //!
-//! The paper argues (via its reference [17], Kim–Tong–Thomas) that an
+//! The paper argues (via its reference \[17\], Kim–Tong–Thomas) that an
 //! eavesdropper needs 500–1000 informative measurement snapshots to
 //! re-identify the measurement subspace after an MTD perturbation, which
 //! is what makes hourly perturbations safe. This module implements that

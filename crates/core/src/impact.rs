@@ -2,7 +2,7 @@
 //! paper's insurance argument (Section VII-D).
 //!
 //! The paper justifies paying the MTD "premium" by comparing it against
-//! the damage an undetected attack can do: per its references [5], [20],
+//! the damage an undetected attack can do: per its references \[5\], \[20\],
 //! a load-redistribution attack on the IEEE 14-bus system can inflate the
 //! OPF cost by up to 28%. This module implements that comparator: a
 //! stealthy attack `a = Hc` biases the state estimate by `c`, the

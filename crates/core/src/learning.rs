@@ -1,0 +1,257 @@
+//! Attacker-relearning timeline — the reconfiguration-period analysis
+//! of Section IV-A.
+//!
+//! After an MTD perturbation the eavesdropper starts over: it must
+//! re-identify the measurement subspace from post-perturbation snapshots
+//! before its attacks become stealthy again (the paper, via its
+//! reference \[17\], puts the requirement at 500–1000 informative
+//! snapshots — the argument for hourly reconfiguration). This module
+//! quantifies that deadline: a [`gridmtd_attack::SubspaceLearner`]
+//! accumulates noisy measurement snapshots under jittered loads and
+//! dispatch, and at each requested checkpoint we score a batch of probe
+//! attacks crafted from the *estimated* subspace against the operator's
+//! post-MTD bad-data detector. Detection starts near 1 (the attacker
+//! knows nothing) and decays toward the false-positive rate α as the
+//! estimate converges; the checkpoint where it crosses the operator's
+//! risk tolerance is the re-perturbation deadline.
+//!
+//! Checkpoints fan out across worker threads; each draws its probes
+//! from a stream seeded by its sample count, so the study is a pure
+//! function of its arguments for any worker count.
+
+use gridmtd_attack::SubspaceLearner;
+use gridmtd_estimation::NoiseModel;
+use gridmtd_powergrid::{dcpf, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{effectiveness, MtdConfig, MtdError};
+
+/// Parameters of the attacker-relearning study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningOptions {
+    /// Snapshot-count checkpoints at which the attacker's progress is
+    /// scored, ascending (the paper's range of interest is 500–1000).
+    pub sample_counts: Vec<usize>,
+    /// Probe attacks crafted per checkpoint.
+    pub n_probe_attacks: usize,
+    /// Subspace dimension the attacker estimates; defaults to the true
+    /// state dimension `n − 1` when `None`.
+    pub subspace_dim: Option<usize>,
+    /// Per-bus uniform load jitter `±fraction` between snapshots — the
+    /// "information diversity" that makes eavesdropped data useful.
+    pub load_jitter: f64,
+    /// Detection-probability level δ* used for the stealthy fraction.
+    pub target_delta: f64,
+}
+
+impl Default for LearningOptions {
+    fn default() -> LearningOptions {
+        LearningOptions {
+            sample_counts: vec![16, 64, 256, 1000],
+            n_probe_attacks: 50,
+            subspace_dim: None,
+            load_jitter: 0.4,
+            target_delta: 0.9,
+        }
+    }
+}
+
+/// Attacker progress at one snapshot-count checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningPoint {
+    /// Snapshots the attacker has accumulated.
+    pub n_samples: usize,
+    /// Mean detection probability of the probe attacks under the
+    /// operator's post-MTD detector.
+    pub mean_detection: f64,
+    /// Fraction of probes with detection probability below
+    /// [`LearningOptions::target_delta`] — the attacker's success rate.
+    pub stealthy_fraction: f64,
+}
+
+/// Runs the relearning study in the post-perturbation world `x_post`.
+///
+/// Snapshot `k` jitters every bus load by `±load_jitter` and splits the
+/// dispatch across generators with random weights (maximum information
+/// diversity, the premise of the paper's reference \[17\]), solves the
+/// power flow and corrupts the measurements with the configured sensor
+/// noise. All randomness derives from `cfg.seed`.
+///
+/// # Errors
+///
+/// Propagates power-flow and estimation failures, and
+/// [`MtdError::Infeasible`] if a checkpoint cannot craft probes (the
+/// subspace dimension exceeds the snapshot count).
+///
+/// # Panics
+///
+/// Panics if `sample_counts` is empty, `n_probe_attacks` is zero, or
+/// `load_jitter` is outside `(0, 1)`.
+pub fn attacker_learning_study(
+    net: &Network,
+    x_post: &[f64],
+    opts: &LearningOptions,
+    cfg: &MtdConfig,
+) -> Result<Vec<LearningPoint>, MtdError> {
+    assert!(
+        !opts.sample_counts.is_empty(),
+        "sample_counts must be non-empty"
+    );
+    assert!(opts.n_probe_attacks > 0, "need at least one probe attack");
+    assert!(
+        opts.load_jitter > 0.0 && opts.load_jitter < 1.0,
+        "load_jitter must be in (0,1), got {}",
+        opts.load_jitter
+    );
+    let dim = opts.subspace_dim.unwrap_or(net.n_states());
+    let n_max = *opts
+        .sample_counts
+        .iter()
+        .max()
+        .expect("non-empty sample_counts");
+
+    // The operator's world: detector and reference measurements at the
+    // post-perturbation reactances.
+    let bdd = effectiveness::post_mtd_detector(net, x_post, cfg)?;
+    let noise = NoiseModel::uniform(net.n_measurements(), cfg.noise_sigma_mw);
+
+    // Eavesdropped snapshots, generated once (sequential stream seeded
+    // from the config) and shared by every checkpoint as a prefix.
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa110));
+    let nominal_loads = net.loads();
+    let mut snapshots: Vec<Vec<f64>> = Vec::with_capacity(n_max);
+    let mut z_ref: Vec<f64> = Vec::new();
+    for k in 0..n_max {
+        let loads: Vec<f64> = nominal_loads
+            .iter()
+            .map(|l| l * (1.0 + rng.gen_range(-opts.load_jitter..opts.load_jitter)))
+            .collect();
+        let net_k = net.with_loads(&loads)?;
+        let weights: Vec<f64> = net_k
+            .gens()
+            .iter()
+            .map(|_| rng.gen_range(0.2..1.0))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let dispatch: Vec<f64> = weights
+            .iter()
+            .map(|w| w / wsum * net_k.total_load())
+            .collect();
+        let pf = dcpf::solve_dispatch(&net_k, x_post, &dispatch)?;
+        let z = noise.corrupt(&pf.measurement_vector(), &mut rng);
+        if k == 0 {
+            z_ref = z.clone();
+        }
+        snapshots.push(z);
+    }
+
+    // Checkpoints are independent given the snapshot prefix: fan out,
+    // each with a probe stream seeded by its own sample count.
+    gridmtd_opf::parallel::par_map(&opts.sample_counts, |_, &n| {
+        let mut learner = SubspaceLearner::new(net.n_measurements());
+        for z in snapshots.iter().take(n) {
+            learner.observe(z);
+        }
+        let mut probe_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xbee5) ^ n as u64);
+        let mut probs = Vec::with_capacity(opts.n_probe_attacks);
+        for _ in 0..opts.n_probe_attacks {
+            let attack = learner
+                .craft_attack(dim, &z_ref, cfg.attack_ratio, &mut probe_rng)
+                .ok_or(MtdError::Infeasible)?;
+            probs.push(bdd.detection_probability(&attack.vector)?);
+        }
+        Ok(LearningPoint {
+            n_samples: n,
+            mean_detection: gridmtd_stats::empirical::mean(&probs),
+            stealthy_fraction: gridmtd_stats::empirical::fraction_where(&probs, |p| {
+                p < opts.target_delta
+            }),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+
+    fn tiny_cfg() -> MtdConfig {
+        MtdConfig {
+            n_attacks: 50,
+            noise_sigma_mw: 0.1,
+            ..MtdConfig::fast_test()
+        }
+    }
+
+    #[test]
+    fn detection_decays_as_the_attacker_accumulates_samples() {
+        let net = cases::case14();
+        let cfg = tiny_cfg();
+        let x = net.nominal_reactances();
+        let opts = LearningOptions {
+            sample_counts: vec![16, 400],
+            n_probe_attacks: 30,
+            ..LearningOptions::default()
+        };
+        let points = attacker_learning_study(&net, &x, &opts, &cfg).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].n_samples, 16);
+        assert_eq!(points[1].n_samples, 400);
+        // More snapshots → better subspace estimate → lower detection.
+        assert!(
+            points[1].mean_detection < points[0].mean_detection,
+            "learning should reduce detection: {} -> {}",
+            points[0].mean_detection,
+            points[1].mean_detection
+        );
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.mean_detection));
+            assert!((0.0..=1.0).contains(&p.stealthy_fraction));
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let net = cases::case4();
+        let cfg = tiny_cfg();
+        let x = net.nominal_reactances();
+        let opts = LearningOptions {
+            sample_counts: vec![8, 32],
+            n_probe_attacks: 10,
+            ..LearningOptions::default()
+        };
+        let a = attacker_learning_study(&net, &x, &opts, &cfg).unwrap();
+        let b = attacker_learning_study(&net, &x, &opts, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insufficient_samples_surface_as_infeasible() {
+        let net = cases::case4();
+        let cfg = tiny_cfg();
+        let x = net.nominal_reactances();
+        let opts = LearningOptions {
+            // Fewer snapshots than the subspace dimension: the basis is
+            // not estimable, so probes cannot be crafted.
+            sample_counts: vec![1],
+            n_probe_attacks: 5,
+            ..LearningOptions::default()
+        };
+        let err = attacker_learning_study(&net, &x, &opts, &cfg).unwrap_err();
+        assert_eq!(err, MtdError::Infeasible);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_counts must be non-empty")]
+    fn empty_checkpoints_panic() {
+        let net = cases::case4();
+        let opts = LearningOptions {
+            sample_counts: vec![],
+            ..LearningOptions::default()
+        };
+        let _ = attacker_learning_study(&net, &net.nominal_reactances(), &opts, &tiny_cfg());
+    }
+}

@@ -21,7 +21,14 @@
 //! 5. [`cost`] / [`tradeoff`] — the operational-cost metric and the
 //!    effectiveness-vs-cost sweep (Figs. 6, 9);
 //! 6. [`timeline`] — hourly MTD operation over a daily load trace
-//!    (Figs. 10–11).
+//!    (Figs. 10–11);
+//! 7. [`learning`] — the attacker-relearning timeline behind the
+//!    reconfiguration-period argument (Section IV-A).
+//!
+//! The sweep entry points ([`tradeoff_sweep`], [`random_keyspace_study`],
+//! [`simulate_day`], [`attacker_learning_study`]) are re-exported at the
+//! crate root; the `gridmtd-scenario` crate drives them from declarative
+//! TOML specs.
 //!
 //! # Quickstart
 //!
@@ -49,6 +56,7 @@ pub mod cost;
 pub mod effectiveness;
 mod error;
 pub mod impact;
+pub mod learning;
 pub mod selection;
 pub mod spa;
 pub mod theory;
@@ -58,6 +66,9 @@ pub mod tradeoff;
 pub use config::{MtdConfig, OpfOptionsSerde};
 pub use effectiveness::MtdEvaluation;
 pub use error::MtdError;
+pub use learning::{attacker_learning_study, LearningOptions, LearningPoint};
 pub use selection::{spread_pre_perturbation, MtdSelection};
-pub use timeline::{HourOutcome, TimelineOptions};
-pub use tradeoff::{RandomTrial, TradeoffCurve, TradeoffPoint};
+pub use timeline::{simulate_day, HourOutcome, TimelineOptions};
+pub use tradeoff::{
+    random_keyspace_study, tradeoff_sweep, RandomTrial, TradeoffCurve, TradeoffPoint,
+};

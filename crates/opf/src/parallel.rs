@@ -43,6 +43,28 @@ where
     par_map_threads(available_threads(), items, f)
 }
 
+/// [`par_map`] with a per-item state factory: `init(i, item)` builds the
+/// state (typically a warm [`crate::OpfContext`]) and `f` consumes it.
+///
+/// The state is created fresh for every item — never shared across items
+/// or workers — so the output stays bit-identical to serial no matter
+/// how items are scheduled, while the many solves *within* one item
+/// (a multistart run, a sweep point's OPF sequence) still warm-start
+/// from each other through the state. This is the hook the declarative
+/// scenario engine uses to give every sweep point its own warm context.
+pub fn par_map_with<T, S, R, Init, F>(items: &[T], init: Init, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    Init: Fn(usize, &T) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    par_map(items, |i, item| {
+        let mut state = init(i, item);
+        f(&mut state, i, item)
+    })
+}
+
 /// [`par_map`] with an explicit worker count (`threads <= 1` runs
 /// inline with no thread machinery — the serial reference path).
 ///
@@ -134,6 +156,24 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_with_gives_every_item_private_state() {
+        // Each item's state starts from its own init value; mutation in
+        // one item can never leak into another, so output equals the
+        // serial reference for any scheduling.
+        let items: Vec<usize> = (0..41).collect();
+        let out = par_map_with(
+            &items,
+            |i, _| i * 10,
+            |state, _, &v| {
+                *state += v;
+                *state
+            },
+        );
+        let reference: Vec<usize> = items.iter().map(|&v| v * 10 + v).collect();
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -78,7 +78,8 @@ const DFACTS: [usize; 8] = [1, 5, 11, 12, 16, 18, 35, 36];
 /// total), generator limits and quadratic generation costs.
 ///
 /// Used by the paper for the Fig. 6(b) scalability study of MTD
-/// effectiveness. See [`DFACTS`] for the D-FACTS placement convention.
+/// effectiveness. D-FACTS devices sit on the eight 1-indexed branches
+/// of the private `DFACTS` table.
 pub fn case30() -> Network {
     let buses: Vec<Bus> = LOADS.iter().map(|&l| Bus::with_load(l)).collect();
     let branches: Vec<Branch> = BRANCHES

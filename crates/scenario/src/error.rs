@@ -1,0 +1,100 @@
+//! Error type shared by spec parsing, validation, and execution.
+
+use std::fmt;
+
+use gridmtd_core::MtdError;
+
+use crate::toml::ParseError;
+
+/// Anything that can go wrong between reading a spec file and writing
+/// its results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// TOML syntax error.
+    Parse(ParseError),
+    /// The TOML parsed but does not describe a valid scenario; `at` is
+    /// the dotted key path (e.g. `sweep.deltas`) and `line` its source
+    /// line when known.
+    Spec {
+        /// Dotted key path of the offending key or table.
+        at: String,
+        /// Source line, when the key exists (0 when absent).
+        line: usize,
+        /// What is wrong and what would be accepted.
+        message: String,
+    },
+    /// The scenario is valid but the underlying model failed to run it.
+    Model(MtdError),
+    /// Filesystem failure (CLI only; carries the rendered io error).
+    Io(String),
+}
+
+impl ScenarioError {
+    /// Builds a spec-level error for a key path with a known line.
+    pub fn spec(at: impl Into<String>, line: usize, message: impl Into<String>) -> ScenarioError {
+        ScenarioError::Spec {
+            at: at.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "TOML syntax error: {e}"),
+            ScenarioError::Spec { at, line, message } => {
+                if *line > 0 {
+                    write!(f, "invalid scenario: `{at}` (line {line}): {message}")
+                } else {
+                    write!(f, "invalid scenario: `{at}`: {message}")
+                }
+            }
+            ScenarioError::Model(e) => write!(f, "scenario failed to run: {e}"),
+            ScenarioError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Parse(e) => Some(e),
+            ScenarioError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for ScenarioError {
+    fn from(e: ParseError) -> ScenarioError {
+        ScenarioError::Parse(e)
+    }
+}
+
+impl From<MtdError> for ScenarioError {
+    fn from(e: MtdError) -> ScenarioError {
+        ScenarioError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_path_and_line() {
+        let e = ScenarioError::spec("sweep.deltas", 17, "must be an array of numbers");
+        let s = e.to_string();
+        assert!(s.contains("sweep.deltas"), "{s}");
+        assert!(s.contains("line 17"), "{s}");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = ScenarioError::spec("sweep", 0, "missing required table");
+        let s = e.to_string();
+        assert!(!s.contains("line"), "{s}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic JSON writer for run results.
+//!
+//! The golden-file tests compare run output **byte for byte**, so the
+//! writer is deliberately boring: object keys render in insertion
+//! order, floats use Rust's shortest-roundtrip `Display` (identical on
+//! every platform), non-finite floats become `null`, and indentation is
+//! fixed at two spaces. No timestamps, no pointers, no map iteration
+//! order — a run's JSON is a pure function of the spec.
+
+use std::fmt::Write as _;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; never rendered with an exponent).
+    Int(i64),
+    /// A float; NaN and infinities render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object fields.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for float arrays.
+    pub fn floats(xs: &[f64]) -> Json {
+        Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect())
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure_deterministically() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("demo".to_string())),
+            ("n", Json::Int(3)),
+            ("xs", Json::floats(&[0.5, 1.0])),
+            ("empty", Json::Arr(vec![])),
+            ("flag", Json::Bool(true)),
+        ]);
+        let expected = "{\n  \"name\": \"demo\",\n  \"n\": 3,\n  \"xs\": [\n    0.5,\n    1\n  ],\n  \"empty\": [],\n  \"flag\": true\n}\n";
+        assert_eq!(doc.pretty(), expected);
+        assert_eq!(doc.pretty(), doc.pretty());
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd".to_string());
+        assert_eq!(s.pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+}

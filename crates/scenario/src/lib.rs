@@ -1,0 +1,55 @@
+//! # gridmtd-scenario — declarative MTD cost-benefit experiments
+//!
+//! The paper's contribution is a *methodology*: sweep the MTD
+//! perturbation magnitude γ, the attack model, and the reconfiguration
+//! timeline, and find the operating point where defense benefit
+//! justifies OPF cost. This crate makes those sweeps declarative: a
+//! TOML spec names a grid case, an attack model, and sweep axes; the
+//! engine compiles it into a plan and executes it through the
+//! workspace's parallel, warm-started OPF machinery; results come back
+//! as deterministic JSON and CSV. The `gridmtd` CLI binary
+//! (`gridmtd run <spec.toml>`) is a thin wrapper around [`run_file`].
+//!
+//! The checked-in `scenarios/` library maps one spec to each paper
+//! figure/table (see `docs/REPRODUCING.md`); writing a new experiment
+//! is writing a TOML file, not Rust.
+//!
+//! ```
+//! let spec = gridmtd_scenario::parse_spec(r#"
+//! [scenario]
+//! name = "quick"
+//! kind = "tradeoff"
+//!
+//! [grid]
+//! case = "case4"
+//!
+//! [config]
+//! n_attacks = 30
+//! n_starts = 1
+//! max_evals_per_start = 40
+//!
+//! [sweep]
+//! gamma_thresholds = [0.02]
+//! deltas = [0.9]
+//! "#).unwrap();
+//! let run = gridmtd_scenario::run_spec(&spec).unwrap();
+//! assert!(run.json.contains("\"kind\": \"tradeoff\""));
+//! ```
+//!
+//! Determinism contract: a run's JSON/CSV artifacts are a pure function
+//! of the spec — every RNG stream is seeded from it, the parallel
+//! fan-outs preserve axis order for any worker count, and the JSON
+//! writer has no nondeterministic inputs (no timestamps, no map
+//! ordering). The golden-file tests pin this byte for byte.
+
+pub mod engine;
+pub mod error;
+pub mod json;
+mod output;
+pub mod spec;
+pub mod toml;
+
+pub use engine::{build_network, run_spec, RunArtifacts};
+pub use error::ScenarioError;
+pub use output::{load_spec, run_file, write_run_dir};
+pub use spec::{parse_spec, CaseId, GridSpec, LoadSpec, ScenarioSpec, SweepSpec, XPrePolicy};

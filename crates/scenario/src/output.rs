@@ -1,0 +1,77 @@
+//! Filesystem side of a run: loading spec files and writing run
+//! directories.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::engine::{run_spec, RunArtifacts};
+use crate::error::ScenarioError;
+use crate::spec::{parse_spec, ScenarioSpec};
+
+/// Reads and validates a spec file.
+///
+/// # Errors
+///
+/// [`ScenarioError::Io`] if the file cannot be read, otherwise whatever
+/// [`parse_spec`] reports.
+pub fn load_spec(path: &Path) -> Result<ScenarioSpec, ScenarioError> {
+    let input = fs::read_to_string(path)
+        .map_err(|e| ScenarioError::Io(format!("cannot read {}: {e}", path.display())))?;
+    parse_spec(&input)
+}
+
+/// Runs a spec file end to end and writes its run directory; returns
+/// the spec, the artifacts, and the directory written.
+///
+/// # Errors
+///
+/// Propagates load, run, and write failures.
+pub fn run_file(
+    spec_path: &Path,
+    out_root: &Path,
+) -> Result<(ScenarioSpec, RunArtifacts, PathBuf), ScenarioError> {
+    let spec = load_spec(spec_path)?;
+    let artifacts = run_spec(&spec)?;
+    let dir = write_run_dir(&spec, &artifacts, out_root)?;
+    Ok((spec, artifacts, dir))
+}
+
+/// Writes `result.json`, `result.csv`, and the canonical `spec.toml`
+/// echo under `<out_root>/<scenario name>/`, creating directories as
+/// needed (an existing run of the same scenario is overwritten — runs
+/// are deterministic, so the bytes only change when the spec does).
+///
+/// # Errors
+///
+/// [`ScenarioError::Io`] on filesystem failures.
+pub fn write_run_dir(
+    spec: &ScenarioSpec,
+    artifacts: &RunArtifacts,
+    out_root: &Path,
+) -> Result<PathBuf, ScenarioError> {
+    let dir = out_root.join(&spec.name);
+    fs::create_dir_all(&dir)
+        .map_err(|e| ScenarioError::Io(format!("cannot create {}: {e}", dir.display())))?;
+    for (file, contents) in [
+        ("result.json", artifacts.json.as_str()),
+        ("result.csv", artifacts.csv.as_str()),
+        ("spec.toml", &spec.to_toml()),
+    ] {
+        let path = dir.join(file);
+        fs::write(&path, contents)
+            .map_err(|e| ScenarioError::Io(format!("cannot write {}: {e}", path.display())))?;
+    }
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_spec_reports_missing_file() {
+        let err = load_spec(Path::new("/nonexistent/spec.toml")).unwrap_err();
+        assert!(matches!(err, ScenarioError::Io(_)));
+        assert!(err.to_string().contains("/nonexistent/spec.toml"), "{err}");
+    }
+}

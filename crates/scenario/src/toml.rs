@@ -1,0 +1,510 @@
+//! Minimal TOML reader for scenario specs.
+//!
+//! The build environment has no registry access, so instead of the real
+//! `toml` crate this module implements the subset the scenario format
+//! uses — which is documented, validated, and all a spec ever needs:
+//!
+//! * `# comments` (full-line and trailing) and blank lines;
+//! * `[table]` / `[table.subtable]` headers;
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`);
+//! * values: basic `"strings"` (with `\"`, `\\`, `\n`, `\t` escapes),
+//!   integers, floats, booleans, and single-line arrays of scalars.
+//!
+//! Every parsed value carries its source line so the spec layer can
+//! report semantic errors (“`sweep.deltas` must be an array of numbers,
+//! line 17”) as precisely as syntax errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML scalar or array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` entry with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based line number of the assignment.
+    pub line: usize,
+}
+
+/// A (sub)table: entries plus nested tables, each with source lines.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Scalar/array entries, by key.
+    pub entries: BTreeMap<String, Entry>,
+    /// Nested tables, by key, with the line of their `[header]`.
+    pub subtables: BTreeMap<String, (Table, usize)>,
+}
+
+impl Table {
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a nested table.
+    pub fn table(&self, key: &str) -> Option<&Table> {
+        self.subtables.get(key).map(|(t, _)| t)
+    }
+}
+
+/// A TOML syntax error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong, with a hint where possible.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a TOML document into its root table.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse(input: &str) -> Result<Table, ParseError> {
+    let mut root = Table::default();
+    let mut current_path: Vec<String> = Vec::new();
+    // Paths that appeared as explicit `[header]`s; redefining one is an
+    // error (like real TOML), while implicitly-created parents (e.g.
+    // `[a.b]` creating `a`) may still be opened later.
+    let mut declared: std::collections::BTreeSet<Vec<String>> = std::collections::BTreeSet::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line, line_no)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest.strip_suffix(']').ok_or_else(|| ParseError {
+                line: line_no,
+                message: "table header is missing its closing ']'".to_string(),
+            })?;
+            let path = parse_table_path(inner, line_no)?;
+            if !declared.insert(path.clone()) {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("table [{}] is defined twice", path.join(".")),
+                });
+            }
+            ensure_table(&mut root, &path, line_no)?;
+            current_path = path;
+        } else {
+            let (key, value) = parse_assignment(line, line_no)?;
+            let table = navigate(&mut root, &current_path);
+            if table.entries.contains_key(&key) || table.subtables.contains_key(&key) {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("duplicate key `{key}`"),
+                });
+            }
+            table.entries.insert(
+                key,
+                Entry {
+                    value,
+                    line: line_no,
+                },
+            );
+        }
+    }
+    Ok(root)
+}
+
+/// Removes a trailing `#` comment, respecting string literals.
+fn strip_comment(line: &str, line_no: usize) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                out.push(c);
+            }
+            '\\' if in_string => {
+                out.push(c);
+                match chars.next() {
+                    Some(next) => out.push(next),
+                    None => {
+                        return Err(ParseError {
+                            line: line_no,
+                            message: "string ends in a bare backslash".to_string(),
+                        })
+                    }
+                }
+            }
+            '#' if !in_string => break,
+            _ => out.push(c),
+        }
+    }
+    if in_string {
+        return Err(ParseError {
+            line: line_no,
+            message: "unterminated string".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_table_path(inner: &str, line_no: usize) -> Result<Vec<String>, ParseError> {
+    let mut path = Vec::new();
+    for part in inner.split('.') {
+        let part = part.trim();
+        if !is_bare_key(part) {
+            return Err(ParseError {
+                line: line_no,
+                message: format!(
+                    "invalid table name `{part}` (bare keys use letters, digits, `_`, `-`)"
+                ),
+            });
+        }
+        path.push(part.to_string());
+    }
+    Ok(path)
+}
+
+fn ensure_table(root: &mut Table, path: &[String], line_no: usize) -> Result<(), ParseError> {
+    let mut table = root;
+    for key in path {
+        if table.entries.contains_key(key) {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("`{key}` is already a value, cannot reopen it as a table"),
+            });
+        }
+        table = &mut table
+            .subtables
+            .entry(key.clone())
+            .or_insert_with(|| (Table::default(), line_no))
+            .0;
+    }
+    Ok(())
+}
+
+fn navigate<'a>(root: &'a mut Table, path: &[String]) -> &'a mut Table {
+    let mut table = root;
+    for key in path {
+        table = &mut table
+            .subtables
+            .get_mut(key)
+            .expect("ensure_table created the path")
+            .0;
+    }
+    table
+}
+
+fn parse_assignment(line: &str, line_no: usize) -> Result<(String, Value), ParseError> {
+    let eq = line.find('=').ok_or_else(|| ParseError {
+        line: line_no,
+        message: format!("expected `key = value` or `[table]`, found `{line}`"),
+    })?;
+    let key = line[..eq].trim();
+    if !is_bare_key(key) {
+        return Err(ParseError {
+            line: line_no,
+            message: format!("invalid key `{key}` (bare keys use letters, digits, `_`, `-`)"),
+        });
+    }
+    let value_src = line[eq + 1..].trim();
+    if value_src.is_empty() {
+        return Err(ParseError {
+            line: line_no,
+            message: format!("key `{key}` has no value"),
+        });
+    }
+    let value = parse_value(value_src, line_no)?;
+    Ok((key.to_string(), value))
+}
+
+fn parse_value(src: &str, line_no: usize) -> Result<Value, ParseError> {
+    if let Some(rest) = src.strip_prefix('"') {
+        return parse_string(rest, line_no);
+    }
+    if let Some(inner) = src.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| ParseError {
+            line: line_no,
+            message: "array is missing its closing `]` (arrays must fit on one line)".to_string(),
+        })?;
+        let mut items = Vec::new();
+        for piece in split_array_items(inner, line_no)? {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let item = parse_value(piece, line_no)?;
+            if matches!(item, Value::Array(_)) {
+                return Err(ParseError {
+                    line: line_no,
+                    message: "nested arrays are not supported in scenario specs".to_string(),
+                });
+            }
+            items.push(item);
+        }
+        return Ok(Value::Array(items));
+    }
+    match src {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = src.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    // TOML spells floats with `_` separators too; the scenario subset
+    // accepts plain Rust float syntax (covers 1.5, 5e-4, -0.3).
+    if let Ok(f) = src.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Value::Float(f));
+        }
+    }
+    Err(ParseError {
+        line: line_no,
+        message: format!(
+            "cannot parse `{src}` as a string, number, boolean, or array \
+             (strings need double quotes)"
+        ),
+    })
+}
+
+/// Parses a basic string body (after the opening quote), requiring the
+/// closing quote to end the value.
+fn parse_string(rest: &str, line_no: usize) -> Result<Value, ParseError> {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let tail: String = chars.collect();
+                if !tail.trim().is_empty() {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("unexpected trailing characters after string: `{tail}`"),
+                    });
+                }
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("unsupported escape `\\{other}`"),
+                    })
+                }
+                None => {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: "string ends in a bare backslash".to_string(),
+                    })
+                }
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(ParseError {
+        line: line_no,
+        message: "unterminated string".to_string(),
+    })
+}
+
+/// Splits array contents on commas, respecting string literals.
+fn split_array_items(inner: &str, line_no: usize) -> Result<Vec<String>, ParseError> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_string = !in_string;
+                current.push(c);
+            }
+            '\\' if in_string => {
+                current.push(c);
+                if let Some(next) = chars.next() {
+                    current.push(next);
+                }
+            }
+            ',' if !in_string => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_string {
+        return Err(ParseError {
+            line: line_no,
+            message: "unterminated string inside array".to_string(),
+        });
+    }
+    items.push(current);
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_scalars_and_arrays() {
+        let doc = r#"
+# a scenario
+[scenario]
+name = "demo"   # trailing comment
+enabled = true
+count = 42
+ratio = 8e-2
+
+[sweep]
+deltas = [0.5, 0.9]
+labels = ["a", "b,c"]
+
+[sweep.gamma_thresholds]
+start = 0.05
+stop = 0.4
+steps = 8
+"#;
+        let root = parse(doc).unwrap();
+        let scenario = root.table("scenario").unwrap();
+        assert_eq!(
+            scenario.get("name").unwrap().value,
+            Value::Str("demo".to_string())
+        );
+        assert_eq!(scenario.get("enabled").unwrap().value, Value::Bool(true));
+        assert_eq!(scenario.get("count").unwrap().value, Value::Int(42));
+        assert_eq!(scenario.get("ratio").unwrap().value, Value::Float(8e-2));
+        let sweep = root.table("sweep").unwrap();
+        assert_eq!(
+            sweep.get("deltas").unwrap().value,
+            Value::Array(vec![Value::Float(0.5), Value::Float(0.9)])
+        );
+        assert_eq!(
+            sweep.get("labels").unwrap().value,
+            Value::Array(vec![
+                Value::Str("a".to_string()),
+                Value::Str("b,c".to_string())
+            ])
+        );
+        let grid = sweep.table("gamma_thresholds").unwrap();
+        assert_eq!(grid.get("steps").unwrap().value, Value::Int(8));
+        assert_eq!(grid.get("steps").unwrap().line, 16);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let root = parse(r#"s = "a \"quoted\" \\ tab\t""#).unwrap();
+        assert_eq!(
+            root.get("s").unwrap().value,
+            Value::Str("a \"quoted\" \\ tab\t".to_string())
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let root = parse(r##"s = "has # hash""##).unwrap();
+        assert_eq!(
+            root.get("s").unwrap().value,
+            Value::Str("has # hash".to_string())
+        );
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let err = parse("ok = 1\nbad").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("key = value"), "{}", err.message);
+
+        let err = parse("x = ").unwrap_err();
+        assert!(err.message.contains("no value"), "{}", err.message);
+
+        let err = parse("[unclosed\n").unwrap_err();
+        assert!(err.message.contains("closing ']'"), "{}", err.message);
+
+        let err = parse("x = \"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{}", err.message);
+
+        let err = parse("x = nope").unwrap_err();
+        assert!(err.message.contains("cannot parse"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = parse("a = 1\na = 2").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+    }
+
+    #[test]
+    fn nested_arrays_are_rejected() {
+        let err = parse("a = [[1], [2]]").unwrap_err();
+        assert!(err.message.contains("nested arrays"), "{}", err.message);
+    }
+
+    #[test]
+    fn negative_and_integer_values() {
+        let root = parse("a = -3\nb = -0.25").unwrap();
+        assert_eq!(root.get("a").unwrap().value, Value::Int(-3));
+        assert_eq!(root.get("b").unwrap().value, Value::Float(-0.25));
+    }
+
+    #[test]
+    fn reopening_a_value_as_table_fails() {
+        let err = parse("a = 1\n[a]\nb = 2").unwrap_err();
+        assert!(err.message.contains("already a value"), "{}", err.message);
+    }
+
+    #[test]
+    fn duplicate_table_headers_are_rejected() {
+        let err = parse("[config]\na = 1\n[config]\nb = 2").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("defined twice"), "{}", err.message);
+        // An implicitly-created parent may still be opened explicitly.
+        let root = parse("[a.b]\nx = 1\n[a]\ny = 2").unwrap();
+        assert!(root.table("a").unwrap().get("y").is_some());
+    }
+}

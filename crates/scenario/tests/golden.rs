@@ -1,0 +1,212 @@
+//! Golden-file tests for the scenario engine.
+//!
+//! Three layers:
+//!
+//! 1. **Round-trip**: every checked-in `scenarios/*.toml` parses, and
+//!    its canonical re-rendering parses back to an equal spec.
+//! 2. **End-to-end goldens**: pinned-seed runs of the smoke and Fig. 9
+//!    specs whose JSON/CSV artifacts must match `tests/golden/` **byte
+//!    for byte** — the determinism contract of the whole engine stack
+//!    (spec → sweep plan → parallel warm-started execution → writer).
+//!    Regenerate after an intentional change with
+//!    `GRIDMTD_REGEN_GOLDEN=1 cargo test -p gridmtd-scenario --test golden`.
+//! 3. **Malformed specs**: error messages carry the dotted key path and
+//!    source line, so a typo fails loudly and legibly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gridmtd_scenario::{parse_spec, run_spec, ScenarioError};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/scenario sits two levels below the repo root")
+        .to_path_buf()
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let dir = repo_root().join("scenarios");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("scenarios/ directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "the scenario library should stay stocked: found {}",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn every_checked_in_scenario_parses_and_round_trips() {
+    for path in scenario_files() {
+        let input = fs::read_to_string(&path).unwrap();
+        let spec =
+            parse_spec(&input).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(
+            spec.name,
+            stem,
+            "{}: scenario name must match the file stem",
+            path.display()
+        );
+        assert!(
+            !spec.description.is_empty(),
+            "{}: description required for `gridmtd list`",
+            path.display()
+        );
+        let reparsed = parse_spec(&spec.to_toml())
+            .unwrap_or_else(|e| panic!("{} canonical form does not parse: {e}", path.display()));
+        assert_eq!(
+            spec,
+            reparsed,
+            "{}: round-trip must preserve the spec",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn reproducing_doc_covers_every_checked_in_scenario() {
+    let doc = fs::read_to_string(repo_root().join("docs/REPRODUCING.md"))
+        .expect("docs/REPRODUCING.md exists");
+    for path in scenario_files() {
+        let file = path.file_name().unwrap().to_string_lossy();
+        assert!(
+            doc.contains(file.as_ref()),
+            "docs/REPRODUCING.md does not mention {file}; every checked-in \
+             scenario needs a row in its figure map"
+        );
+    }
+}
+
+#[test]
+fn scenario_library_covers_a_synthetic_scaling_rung() {
+    use gridmtd_scenario::CaseId;
+    let has_big_case = scenario_files().iter().any(|p| {
+        let spec = parse_spec(&fs::read_to_string(p).unwrap()).unwrap();
+        matches!(
+            spec.grid.case,
+            CaseId::Case57 | CaseId::Case118 | CaseId::Synthetic { .. }
+        )
+    });
+    assert!(
+        has_big_case,
+        "keep at least one case57/case118 scenario checked in"
+    );
+}
+
+/// Compares `actual` against the golden file, or rewrites the golden
+/// when `GRIDMTD_REGEN_GOLDEN` is set.
+fn check_golden(file: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file);
+    if std::env::var("GRIDMTD_REGEN_GOLDEN").is_ok() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden {}; generate with GRIDMTD_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_line = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or(expected.lines().count().min(actual.lines().count()), |i| i);
+        panic!(
+            "{} drifted from its golden at line {} —\n  expected: {:?}\n  actual:   {:?}\n\
+             if the change is intentional, regenerate with GRIDMTD_REGEN_GOLDEN=1",
+            file,
+            diff_line + 1,
+            expected.lines().nth(diff_line).unwrap_or("<eof>"),
+            actual.lines().nth(diff_line).unwrap_or("<eof>"),
+        );
+    }
+}
+
+fn run_checked_in(name: &str) -> gridmtd_scenario::RunArtifacts {
+    let path = repo_root().join("scenarios").join(name);
+    let spec = parse_spec(&fs::read_to_string(&path).unwrap()).unwrap();
+    run_spec(&spec).unwrap()
+}
+
+#[test]
+fn smoke_case4_json_and_csv_are_byte_stable() {
+    let run = run_checked_in("smoke_case4.toml");
+    check_golden("smoke_case4.json", &run.json);
+    check_golden("smoke_case4.csv", &run.csv);
+}
+
+#[test]
+fn tradeoff_case14_json_is_byte_stable() {
+    // The Fig. 9 spec end to end under its pinned seed: dynamic-load
+    // world building (6 PM system, 5 PM attacker knowledge), the
+    // parallel threshold sweep, warm-started selection, and the
+    // deterministic writer.
+    let run = run_checked_in("tradeoff_case14.toml");
+    check_golden("tradeoff_case14.json", &run.json);
+    check_golden("tradeoff_case14.csv", &run.csv);
+}
+
+#[test]
+fn malformed_specs_fail_with_path_and_line() {
+    // A typo'd key is rejected, naming the key and its line.
+    let err = parse_spec(
+        "[scenario]\nname = \"x\"\nkind = \"tradeoff\"\n\n[grid]\ncase = \"case4\"\n\
+         \n[sweep]\ngamma_thresholds = [0.1]\ndeltas = [0.5]\nn_atacks = 10\n",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("sweep.n_atacks"), "{msg}");
+    assert!(msg.contains("line 11"), "{msg}");
+    assert!(msg.contains("unknown key"), "{msg}");
+
+    // TOML syntax errors carry the line too.
+    let err = parse_spec("[scenario\nname = \"x\"\n").unwrap_err();
+    assert!(matches!(err, ScenarioError::Parse(_)));
+    let msg = err.to_string();
+    assert!(msg.contains("line 1"), "{msg}");
+    assert!(msg.contains("closing ']'"), "{msg}");
+
+    // Type errors name what was expected and what was found.
+    let err = parse_spec(
+        "[scenario]\nname = \"x\"\nkind = \"keyspace\"\n\n[grid]\ncase = \"case4\"\n\
+         \n[sweep]\nfraction = \"lots\"\nn_trials = 3\ndeltas = [0.5]\n",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("sweep.fraction"), "{msg}");
+    assert!(msg.contains("expected a number, got a string"), "{msg}");
+
+    // Semantic validation: a descending axis is called out.
+    let err = parse_spec(
+        "[scenario]\nname = \"x\"\nkind = \"tradeoff\"\n\n[grid]\ncase = \"case4\"\n\
+         \n[sweep]\ngamma_thresholds = [0.3, 0.1]\ndeltas = [0.5]\n",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("strictly ascending"), "{}", err);
+}
+
+#[test]
+fn unknown_case_lists_the_valid_ones() {
+    let err = parse_spec(
+        "[scenario]\nname = \"x\"\nkind = \"tradeoff\"\n\n[grid]\ncase = \"case9000\"\n\
+         \n[sweep]\ngamma_thresholds = [0.1]\ndeltas = [0.5]\n",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("case9000"), "{msg}");
+    assert!(msg.contains("case118"), "{msg}");
+}

@@ -55,6 +55,49 @@ pub fn fraction_where<F: Fn(f64) -> bool>(xs: &[f64], pred: F) -> f64 {
     xs.iter().filter(|&&x| pred(x)).count() as f64 / xs.len() as f64
 }
 
+/// Five-number summary of a sample, used by the scenario engine's
+/// per-sweep result blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Smallest sample value (`0.0` for an empty sample).
+    pub min: f64,
+    /// Largest sample value (`0.0` for an empty sample).
+    pub max: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Median (linear-interpolation quantile at 0.5).
+    pub median: f64,
+}
+
+/// Summarizes a sample. An empty slice yields an all-zero summary with
+/// `n = 0`, so callers can serialize it without special-casing.
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary {
+            n: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            std_dev: 0.0,
+            median: 0.0,
+        };
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        n: xs.len(),
+        min,
+        max,
+        mean: mean(xs),
+        std_dev: std_dev(xs),
+        median: quantile(xs, 0.5),
+    }
+}
+
 /// Half-width of the normal-approximation 95% confidence interval for a
 /// Bernoulli proportion estimated from `n` trials.
 pub fn proportion_ci_halfwidth(p_hat: f64, n: usize) -> f64 {
@@ -115,5 +158,26 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn quantile_empty_panics() {
         quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = summarize(&xs);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn summary_of_empty_sample_is_zeroed() {
+        let s = summarize(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.median, 0.0);
     }
 }

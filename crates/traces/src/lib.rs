@@ -8,7 +8,11 @@
 //! an overnight trough, a morning ramp, a midday plateau and an evening
 //! peak at 6–7 PM, with strong hour-to-hour correlation. The trace is
 //! expressed as *scaling factors* that multiply a case's nominal loads.
+//!
+//! Declarative scenario specs reference traces by name; [`by_name`]
+//! resolves the [`BUILTIN_TRACES`] registry, and [`flat`] builds the
+//! constant-load degenerate trace.
 
 mod trace;
 
-pub use trace::{nyiso_winter_weekday, LoadTrace};
+pub use trace::{by_name, flat, nyiso_winter_weekday, LoadTrace, BUILTIN_TRACES};

@@ -121,6 +121,31 @@ pub fn nyiso_winter_weekday() -> LoadTrace {
     ])
 }
 
+/// Flat trace: `hours` identical entries of `total_mw`. Useful for
+/// static-load timeline runs and as a degenerate test trace.
+///
+/// # Panics
+///
+/// Panics if `hours == 0` or `total_mw <= 0`.
+pub fn flat(hours: usize, total_mw: f64) -> LoadTrace {
+    assert!(hours > 0, "trace must be non-empty");
+    LoadTrace::new(vec![total_mw; hours])
+}
+
+/// Names of the built-in traces resolvable by [`by_name`], in
+/// registry order.
+pub const BUILTIN_TRACES: &[&str] = &["nyiso_winter_weekday"];
+
+/// Looks up a built-in trace by name (the declarative scenario specs
+/// reference traces this way). Returns `None` for unknown names; see
+/// [`BUILTIN_TRACES`] for the valid set.
+pub fn by_name(name: &str) -> Option<LoadTrace> {
+    match name {
+        "nyiso_winter_weekday" => Some(nyiso_winter_weekday()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +200,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_load_panics() {
         LoadTrace::new(vec![100.0, -5.0]);
+    }
+
+    #[test]
+    fn flat_trace_is_constant() {
+        let t = flat(4, 250.0);
+        assert_eq!(t.len(), 4);
+        for h in 0..4 {
+            assert_eq!(t.total_load_mw(h), 250.0);
+        }
+    }
+
+    #[test]
+    fn registry_resolves_every_builtin_name() {
+        for &name in BUILTIN_TRACES {
+            assert!(by_name(name).is_some(), "unresolvable builtin {name}");
+        }
+        assert!(by_name("no_such_trace").is_none());
+        assert_eq!(
+            by_name("nyiso_winter_weekday"),
+            Some(nyiso_winter_weekday())
+        );
     }
 }

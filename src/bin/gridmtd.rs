@@ -1,0 +1,190 @@
+//! The `gridmtd` CLI: run, validate, and list declarative scenario
+//! specs (see `docs/REPRODUCING.md` for the spec format and the
+//! checked-in `scenarios/` library).
+//!
+//! ```text
+//! gridmtd run <spec.toml> [--out <dir>] [--threads <n>] [--quiet]
+//! gridmtd validate <spec.toml>...
+//! gridmtd list [<scenarios-dir>]
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gridmtd::scenario;
+
+const USAGE: &str = "gridmtd — cost-benefit analysis of moving-target defense in power grids
+
+USAGE:
+    gridmtd run <spec.toml> [--out <dir>] [--threads <n>] [--quiet]
+    gridmtd validate <spec.toml>...
+    gridmtd list [<scenarios-dir>]
+
+COMMANDS:
+    run        Execute a scenario spec; write result.json / result.csv /
+               spec.toml under <dir>/<scenario name>/ (default dir: runs)
+    validate   Parse and validate specs without running them
+    list       Summarize every *.toml spec in a directory (default: scenarios)
+
+OPTIONS:
+    --out <dir>      Run-directory root (default: runs)
+    --threads <n>    Worker threads (default: GRIDMTD_THREADS or all cores)
+    --quiet          Suppress the per-sweep summary lines
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out_root = PathBuf::from("runs");
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_root = PathBuf::from(dir),
+                None => return usage_error("--out takes a directory"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                // The workspace's parallel fan-outs read GRIDMTD_THREADS;
+                // results are bit-identical for any worker count.
+                Some(n) => std::env::set_var("GRIDMTD_THREADS", n.max(1).to_string()),
+                None => return usage_error("--threads takes a positive integer"),
+            },
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option `{other}`"))
+            }
+            other => {
+                if spec_path.replace(PathBuf::from(other)).is_some() {
+                    return usage_error("run takes exactly one spec file");
+                }
+            }
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        return usage_error("run needs a spec file");
+    };
+
+    match scenario::run_file(&spec_path, &out_root) {
+        Ok((spec, artifacts, dir)) => {
+            println!(
+                "ran scenario `{}` ({}, {})",
+                spec.name,
+                spec.sweep.kind(),
+                spec.grid.case.name()
+            );
+            if !quiet {
+                for line in &artifacts.summary {
+                    println!("  {line}");
+                }
+            }
+            println!("wrote {}", dir.join("result.json").display());
+            println!("wrote {}", dir.join("result.csv").display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", spec_path.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage_error("validate needs at least one spec file");
+    }
+    let mut failed = false;
+    for arg in args {
+        let path = Path::new(arg);
+        match scenario::load_spec(path) {
+            Ok(spec) => println!(
+                "ok: {} — `{}` ({}, {})",
+                path.display(),
+                spec.name,
+                spec.sweep.kind(),
+                spec.grid.case.name()
+            ),
+            Err(e) => {
+                eprintln!("FAIL: {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    let dir = match args {
+        [] => PathBuf::from("scenarios"),
+        [d] => PathBuf::from(d),
+        _ => return usage_error("list takes at most one directory"),
+    };
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    if entries.is_empty() {
+        println!("no *.toml specs in {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+    let mut failed = false;
+    for path in &entries {
+        match scenario::load_spec(path) {
+            Ok(spec) => {
+                let file = path.file_name().unwrap_or_default().to_string_lossy();
+                println!(
+                    "{file:<28} {:<9} {:<8} {}",
+                    spec.sweep.kind(),
+                    spec.grid.case.name(),
+                    spec.description.lines().next().unwrap_or("")
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL: {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -14,6 +14,10 @@
 //! | [`attack`] | `gridmtd-attack` | stealthy FDI attacks |
 //! | [`mtd`] | `gridmtd-core` | SPA metric, η'(δ), problem (4), tradeoff |
 //! | [`traces`] | `gridmtd-traces` | daily load traces |
+//! | [`scenario`] | `gridmtd-scenario` | declarative TOML sweep specs + engine |
+//!
+//! The `gridmtd` **binary** (this package's `src/bin/gridmtd.rs`) runs
+//! declarative scenario specs: `gridmtd run scenarios/<name>.toml`.
 //!
 //! # Example: is a random MTD perturbation any good?
 //!
@@ -46,5 +50,6 @@ pub use gridmtd_estimation as estimation;
 pub use gridmtd_linalg as linalg;
 pub use gridmtd_opf as opf;
 pub use gridmtd_powergrid as powergrid;
+pub use gridmtd_scenario as scenario;
 pub use gridmtd_stats as stats;
 pub use gridmtd_traces as traces;
