@@ -15,6 +15,10 @@ use crate::FdiAttack;
 /// Analytic detection probability of each attack in `attacks` under the
 /// given detector (post-MTD `H'`), per Appendix B of the paper.
 ///
+/// The whole ensemble is scored through one multi-RHS triangular-solve
+/// pass ([`BadDataDetector::detection_probabilities`]); per-attack
+/// results are bit-identical to scoring each attack alone.
+///
 /// # Errors
 ///
 /// Propagates estimator failures (wrong dimensions).
@@ -22,10 +26,8 @@ pub fn detection_probabilities(
     bdd: &BadDataDetector,
     attacks: &[FdiAttack],
 ) -> Result<Vec<f64>, EstimationError> {
-    attacks
-        .iter()
-        .map(|a| bdd.detection_probability(&a.vector))
-        .collect()
+    let vectors: Vec<&[f64]> = attacks.iter().map(|a| a.vector.as_slice()).collect();
+    bdd.detection_probabilities(&vectors)
 }
 
 /// One Monte-Carlo detection trial: corrupts `z_true` with a noise draw

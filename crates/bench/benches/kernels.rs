@@ -41,6 +41,7 @@ fn bench_dcpf(c: &mut Criterion) {
         ),
         ("case57", cases::case57(), None),
         ("case118", cases::case118(), None),
+        ("case300", cases::case300(), None),
     ] {
         // Synthetic scale cases: split the load evenly across units (the
         // power flow does not need a merit-order dispatch).
@@ -54,6 +55,40 @@ fn bench_dcpf(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_sparse_refactor(c: &mut Criterion) {
+    // The MTD loop shape: the topology is fixed, only reactance values
+    // drift. With a warm `PfContext` each solve is a numeric-only
+    // refactorization (the symbolic factorization is cached), which is
+    // the amortized per-perturbation cost inside `select_mtd` objective
+    // evaluations, Monte-Carlo trials and timeline hours.
+    let net = cases::case118();
+    let share = net.total_load() / net.n_gens() as f64;
+    let dispatch = vec![share; net.n_gens()];
+    let x0 = net.nominal_reactances();
+    let dfacts = net.dfacts_branches();
+    let xs: Vec<Vec<f64>> = (0..8)
+        .map(|k| {
+            let mut x = x0.clone();
+            for (j, &l) in dfacts.iter().enumerate() {
+                let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+                x[l] *= 1.0 + sign * 0.01 * (k as f64 + 1.0);
+            }
+            x
+        })
+        .collect();
+    let mut ctx = gridmtd_powergrid::PfContext::new();
+    // Prime the cache so the measurement is refactor + solve only.
+    dcpf::solve_dispatch_with(&net, &x0, &dispatch, &mut ctx).unwrap();
+    let mut i = 0usize;
+    c.bench_function("sparse_refactor/case118", |b| {
+        b.iter(|| {
+            let x = &xs[i % xs.len()];
+            i += 1;
+            dcpf::solve_dispatch_with(black_box(&net), x, &dispatch, &mut ctx).unwrap()
+        })
+    });
 }
 
 fn bench_measurement_matrix(c: &mut Criterion) {
@@ -111,6 +146,6 @@ fn bench_detection_probability(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_gamma, bench_dcpf, bench_measurement_matrix, bench_bdd, bench_detection_probability
+    targets = bench_gamma, bench_dcpf, bench_sparse_refactor, bench_measurement_matrix, bench_bdd, bench_detection_probability
 }
 criterion_main!(kernels);

@@ -56,7 +56,11 @@ fn bench_opf(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("dc_opf_cold");
-    for (name, net) in [("case30", cases::case30()), ("case57", cases::case57())] {
+    for (name, net) in [
+        ("case30", cases::case30()),
+        ("case57", cases::case57()),
+        ("case118", cases::case118()),
+    ] {
         let x = net.nominal_reactances();
         group.bench_function(name, |b| {
             b.iter(|| solve_opf(black_box(&net), &x, &opts).unwrap())

@@ -17,6 +17,7 @@
 
 use gridmtd_attack::{AttackerKnowledge, FdiAttack};
 use gridmtd_estimation::{BadDataDetector, NoiseModel, StateEstimator};
+use gridmtd_linalg::Matrix;
 use gridmtd_powergrid::{dcpf, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,7 +95,16 @@ pub fn post_mtd_detector(
     x_post: &[f64],
     cfg: &MtdConfig,
 ) -> Result<BadDataDetector, MtdError> {
-    let h_post = net.measurement_matrix(x_post)?;
+    detector_from_h(net.measurement_matrix(x_post)?, cfg)
+}
+
+/// Builds the post-MTD detector from an already-constructed measurement
+/// matrix (the hoisted path for loops that hold `H'` anyway).
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn detector_from_h(h_post: Matrix, cfg: &MtdConfig) -> Result<BadDataDetector, MtdError> {
     let noise = NoiseModel::uniform(h_post.rows(), cfg.noise_sigma_mw);
     let est = StateEstimator::new(h_post, &noise)?;
     Ok(BadDataDetector::new(est, cfg.alpha))
@@ -115,24 +125,54 @@ pub fn build_attack_set(
     cfg: &MtdConfig,
 ) -> Result<Vec<FdiAttack>, MtdError> {
     let h_pre = net.measurement_matrix(x_pre)?;
+    build_attack_set_with_h(net, &h_pre, x_pre, dispatch_pre, cfg)
+}
+
+/// [`build_attack_set`] with a precomputed `H(x_pre)` — the timeline
+/// loop already holds the stale matrix and must not rebuild it each
+/// hour.
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn build_attack_set_with_h(
+    net: &Network,
+    h_pre: &Matrix,
+    x_pre: &[f64],
+    dispatch_pre: &[f64],
+    cfg: &MtdConfig,
+) -> Result<Vec<FdiAttack>, MtdError> {
     let pf = dcpf::solve_dispatch(net, x_pre, dispatch_pre)?;
     let z_pre = pf.measurement_vector();
-    let attacker = AttackerKnowledge::learned(h_pre, 0);
+    let attacker = AttackerKnowledge::learned(h_pre.clone(), 0);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     Ok(attacker.craft_random_set(&z_pre, cfg.attack_ratio, cfg.n_attacks, &mut rng)?)
 }
 
-/// Scores every attack in the ensemble against the detector in
-/// parallel: each attack's closed-form probability is independent, so
-/// the fan-out is a pure (bit-identical) reordering of the serial loop.
+/// Attacks per multi-RHS scoring batch: small enough that every worker
+/// gets work on paper-scale ensembles, large enough to amortize the
+/// triangular-solve pass. Fixed (not thread-count-derived) so the batch
+/// boundaries — and therefore the bits — never depend on the machine.
+const DETECTION_BATCH: usize = 32;
+
+/// Scores every attack in the ensemble against the detector: attacks
+/// are chunked into fixed-size batches, each batch fans out across the
+/// worker threads and is scored through one multi-RHS triangular-solve
+/// pass. Per-attack arithmetic is independent of the batching, so the
+/// result is bit-identical to the serial per-attack loop.
 pub fn detection_probabilities_parallel(
     bdd: &BadDataDetector,
     attacks: &[FdiAttack],
 ) -> Result<Vec<f64>, MtdError> {
-    gridmtd_opf::parallel::par_map(attacks, |_, a| bdd.detection_probability(&a.vector))
-        .into_iter()
-        .collect::<Result<Vec<f64>, _>>()
-        .map_err(MtdError::from)
+    let batches: Vec<&[FdiAttack]> = attacks.chunks(DETECTION_BATCH).collect();
+    let scored = gridmtd_opf::parallel::par_map(&batches, |_, batch| {
+        gridmtd_attack::detection_probabilities(bdd, batch)
+    });
+    let mut out = Vec::with_capacity(attacks.len());
+    for batch in scored {
+        out.extend(batch?);
+    }
+    Ok(out)
 }
 
 /// Evaluates an MTD perturbation `x_pre → x_post` against a prebuilt
@@ -150,12 +190,31 @@ pub fn evaluate_with_attacks(
     cfg: &MtdConfig,
 ) -> Result<MtdEvaluation, MtdError> {
     let h_pre = net.measurement_matrix(x_pre)?;
+    evaluate_with_attacks_h(net, &h_pre, x_post, attacks, cfg)
+}
+
+/// [`evaluate_with_attacks`] with a precomputed `H(x_pre)`; builds the
+/// post-perturbation matrix exactly once (angle metric and detector
+/// share it).
+///
+/// # Errors
+///
+/// Propagates model-construction failures.
+pub fn evaluate_with_attacks_h(
+    net: &Network,
+    h_pre: &Matrix,
+    x_post: &[f64],
+    attacks: &[FdiAttack],
+    cfg: &MtdConfig,
+) -> Result<MtdEvaluation, MtdError> {
     let h_post = net.measurement_matrix(x_post)?;
-    let bdd = post_mtd_detector(net, x_post, cfg)?;
+    let gamma = spa::gamma(h_pre, &h_post)?;
+    let smallest_angle = spa::smallest_angle(h_pre, &h_post)?;
+    let bdd = detector_from_h(h_post, cfg)?;
     let detection_probs = detection_probabilities_parallel(&bdd, attacks)?;
     Ok(MtdEvaluation {
-        gamma: spa::gamma(&h_pre, &h_post)?,
-        smallest_angle: spa::smallest_angle(&h_pre, &h_post)?,
+        gamma,
+        smallest_angle,
         detection_probs,
     })
 }

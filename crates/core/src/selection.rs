@@ -146,6 +146,29 @@ pub fn select_mtd(
 ) -> Result<MtdSelection, MtdError> {
     let h_pre = net.measurement_matrix(x_pre)?;
     let gamma_basis = spa::GammaBasis::new(&h_pre)?;
+    select_mtd_with(net, x_pre, &h_pre, &gamma_basis, gamma_th, cfg)
+}
+
+/// [`select_mtd`] with a precomputed pre-perturbation matrix and its
+/// cached QR basis.
+///
+/// The timeline tuner evaluates several `γ_th` candidates against the
+/// *same* `H(x_pre)` each hour; hoisting the matrix build and the QR
+/// factorization out of the candidate loop removes the dominant
+/// per-candidate setup cost without changing a single float (the basis
+/// is a pure function of `h_pre`).
+///
+/// # Errors
+///
+/// See [`select_mtd`].
+pub fn select_mtd_with(
+    net: &Network,
+    x_pre: &[f64],
+    h_pre: &gridmtd_linalg::Matrix,
+    gamma_basis: &spa::GammaBasis,
+    gamma_th: f64,
+    cfg: &MtdConfig,
+) -> Result<MtdSelection, MtdError> {
     let dfacts = net.dfacts_branches();
     let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
     let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
@@ -225,7 +248,7 @@ pub fn select_mtd(
         }
         let x_post = assemble(x_nominal, dfacts, &result.x);
         let h_post = net.measurement_matrix(&x_post)?;
-        let gamma = spa::gamma(&h_pre, &h_post)?;
+        let gamma = spa::gamma(h_pre, &h_post)?;
         if gamma + tol >= gamma_th {
             let opf = solve_opf(net, &x_post, &opf_opts)?;
             return Ok(MtdSelection {

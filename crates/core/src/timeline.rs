@@ -108,9 +108,15 @@ pub fn simulate_day(
         // 1. No-MTD OPF for this hour (warm start from previous hour).
         let (x_now, opf_now) = selection::baseline_opf(&net_now, &x_prev, cfg)?;
 
-        // 2. Attacker's knowledge: last hour's matrix.
+        // 2. Attacker's knowledge: last hour's matrix. The measurement
+        // matrix depends only on the topology and reactances — never on
+        // loads — so `h_stale` (and its QR basis below) is built once
+        // per hour and shared by the attack ensemble, every γ-grid
+        // candidate's selection run and the effectiveness evaluations,
+        // instead of being rebuilt inside each of them.
         let h_stale = net.measurement_matrix(&x_prev)?;
         let h_now = net.measurement_matrix(&x_now)?;
+        let stale_basis = spa::GammaBasis::new(&h_stale)?;
 
         // Attack ensemble against the stale matrix, scaled by the stale
         // operating point (what the attacker eavesdropped).
@@ -119,7 +125,13 @@ pub fn simulate_day(
             let net_prev = net.scale_loads(trace.scaling_factor(prev_hour, nominal_total));
             gridmtd_opf::solve_opf(&net_prev, &x_prev, &cfg.opf_options())?.dispatch
         };
-        let attacks = effectiveness::build_attack_set(&net_now, &x_prev, &opf_prev_dispatch, cfg)?;
+        let attacks = effectiveness::build_attack_set_with_h(
+            &net_now,
+            &h_stale,
+            &x_prev,
+            &opf_prev_dispatch,
+            cfg,
+        )?;
 
         // 3. Tune γ_th on the grid. Candidates are evaluated
         // speculatively in worker-sized chunks and the serial early-exit
@@ -136,10 +148,17 @@ pub fn simulate_day(
         'grid: for candidates in opts.gamma_grid.chunks(lookahead) {
             let evaluations: Vec<Result<(selection::MtdSelection, f64), MtdError>> =
                 gridmtd_opf::parallel::par_map(candidates, |_, &gamma_th| {
-                    let sel = selection::select_mtd(&net_now, &x_prev, gamma_th, cfg)?;
-                    let eval = effectiveness::evaluate_with_attacks(
+                    let sel = selection::select_mtd_with(
                         &net_now,
                         &x_prev,
+                        &h_stale,
+                        &stale_basis,
+                        gamma_th,
+                        cfg,
+                    )?;
+                    let eval = effectiveness::evaluate_with_attacks_h(
+                        &net_now,
+                        &h_stale,
                         &sel.x_post,
                         &attacks,
                         cfg,

@@ -141,11 +141,14 @@ pub fn random_keyspace_study(
         let mut rng = StdRng::seed_from_u64(base ^ t);
         let x_post = selection::random_perturbation(net, x_pre, fraction, &mut rng);
         let h_post = net.measurement_matrix(&x_post)?;
-        let bdd = effectiveness::post_mtd_detector(net, &x_post, cfg)?;
+        let gamma = spa::gamma(&h_pre, &h_post)?;
+        let smallest_angle = spa::smallest_angle(&h_pre, &h_post)?;
+        // Angles first so `h_post` can move into the detector unclone'd.
+        let bdd = effectiveness::detector_from_h(h_post, cfg)?;
         let probs = gridmtd_attack::detection_probabilities(&bdd, attacks)?;
         let eval = effectiveness::MtdEvaluation {
-            gamma: spa::gamma(&h_pre, &h_post)?,
-            smallest_angle: spa::smallest_angle(&h_pre, &h_post)?,
+            gamma,
+            smallest_angle,
             detection_probs: probs,
         };
         let eta: Vec<(f64, f64)> = deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();

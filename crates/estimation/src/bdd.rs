@@ -121,6 +121,27 @@ impl BadDataDetector {
         let dof = self.estimator.degrees_of_freedom() as f64;
         Ok(NoncentralChiSquared::new(dof, lambda).sf(self.threshold))
     }
+
+    /// Closed-form detection probabilities for a batch of attack
+    /// vectors, solved through one multi-RHS triangular-solve pass
+    /// ([`StateEstimator::residual_statistics`]).
+    ///
+    /// Per-attack arithmetic is identical to
+    /// [`BadDataDetector::detection_probability`], so results are
+    /// bit-identical for any batching of the same attacks.
+    ///
+    /// # Errors
+    ///
+    /// See [`StateEstimator::residual_statistic`].
+    pub fn detection_probabilities(&self, attacks: &[&[f64]]) -> Result<Vec<f64>, EstimationError> {
+        let dof = self.estimator.degrees_of_freedom() as f64;
+        Ok(self
+            .estimator
+            .residual_statistics(attacks)?
+            .into_iter()
+            .map(|lambda| NoncentralChiSquared::new(dof, lambda).sf(self.threshold))
+            .collect())
+    }
 }
 
 #[cfg(test)]

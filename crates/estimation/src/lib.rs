@@ -36,4 +36,4 @@ mod wls;
 
 pub use bdd::{BadDataDetector, BddOutcome};
 pub use noise::NoiseModel;
-pub use wls::{EstimationError, StateEstimator};
+pub use wls::{EstimationError, EstimatorBackend, StateEstimator, SPARSE_MIN_STATES};

@@ -5,13 +5,47 @@
 //! `W = R⁻¹`. The estimator caches the Cholesky factor of the gain matrix
 //! `HᵀWH` so repeated estimates (Monte-Carlo detection studies) cost one
 //! matrix–vector product and one triangular solve each.
+//!
+//! # Backends
+//!
+//! Below [`SPARSE_MIN_STATES`] states the gain matrix is built and
+//! factored densely (byte stable with the historical implementation).
+//! At or above the crossover, `H` has a handful of nonzeros per row and
+//! the estimator assembles `HᵀWH` directly from those row stamps,
+//! factors it with the sparse Cholesky of `gridmtd-linalg`, and runs
+//! estimates through sparse matrix–vector products — turning the
+//! `O(M n²)` dense gain construction that dominates large-case detector
+//! builds into `O(Σ nnz(row)²)`. Attack batches should prefer
+//! [`StateEstimator::residual_statistics`] /
+//! [`crate::BadDataDetector::detection_probabilities`], which solve all
+//! right-hand sides through one multi-RHS triangular-solve pass.
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
+use gridmtd_linalg::sparse::{SparseCholesky, SparseMatrix, SymbolicCholesky};
 use gridmtd_linalg::{Cholesky, LinalgError, Matrix};
 
 use crate::NoiseModel;
+
+/// State-count crossover between the dense and sparse gain backends.
+///
+/// The paper-scale cases (4–30 buses, ≤ 29 states) stay dense; the
+/// synthetic scaling cases (57+ buses) go sparse.
+pub const SPARSE_MIN_STATES: usize = 40;
+
+/// Backend selection for [`StateEstimator`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorBackend {
+    /// Dense below [`SPARSE_MIN_STATES`] states, sparse at or above.
+    #[default]
+    Auto,
+    /// Always dense (the historical implementation).
+    Dense,
+    /// Always sparse (agreement property tests on small cases).
+    Sparse,
+}
 
 /// Errors from estimator construction or use.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,21 +121,48 @@ impl From<LinalgError> for EstimationError {
 #[derive(Debug, Clone)]
 pub struct StateEstimator {
     h: Matrix,
-    /// `diag(w) · H`, cached for `HᵀWz` products.
-    wh: Matrix,
     weights: Vec<f64>,
-    gain: Cholesky,
+    solver: GainSolver,
+}
+
+/// Backend-specific factored gain matrix and product caches.
+#[derive(Debug, Clone)]
+enum GainSolver {
+    Dense {
+        /// `diag(w) · H`, cached for `HᵀWz` products.
+        wh: Matrix,
+        gain: Cholesky,
+    },
+    Sparse {
+        /// CSC copy of `H` for the `Hθ` / `HᵀWz` products.
+        h_sparse: SparseMatrix,
+        gain: SparseCholesky,
+    },
 }
 
 impl StateEstimator {
     /// Builds the estimator for measurement matrix `h` and the given noise
-    /// model.
+    /// model, selecting the backend automatically.
     ///
     /// # Errors
     ///
     /// * [`EstimationError::DimensionMismatch`] if `noise.len() != h.rows()`.
     /// * [`EstimationError::Unobservable`] if `h` is column-rank deficient.
     pub fn new(h: Matrix, noise: &NoiseModel) -> Result<StateEstimator, EstimationError> {
+        StateEstimator::with_backend(h, noise, EstimatorBackend::Auto)
+    }
+
+    /// [`StateEstimator::new`] with an explicit backend (property tests;
+    /// production code should prefer the automatic crossover).
+    ///
+    /// # Errors
+    ///
+    /// See [`StateEstimator::new`].
+    pub fn with_backend(
+        h: Matrix,
+        noise: &NoiseModel,
+        backend: EstimatorBackend,
+    ) -> Result<StateEstimator, EstimationError> {
         if noise.len() != h.rows() {
             return Err(EstimationError::DimensionMismatch {
                 expected: h.rows(),
@@ -109,20 +170,51 @@ impl StateEstimator {
             });
         }
         let weights = noise.weights();
-        let mut wh = h.clone();
-        for (i, &w) in weights.iter().enumerate() {
-            for v in wh.row_mut(i) {
-                *v *= w;
+        let sparse = match backend {
+            EstimatorBackend::Auto => h.cols() >= SPARSE_MIN_STATES,
+            EstimatorBackend::Dense => false,
+            EstimatorBackend::Sparse => true,
+        };
+        let solver = if sparse {
+            // Assemble HᵀWH directly from the sparse row stamps of H:
+            // each measurement row contributes w·vᵢ·vⱼ over its nonzero
+            // column pairs, so the gain never materializes densely.
+            let mut row_entries: Vec<(usize, f64)> = Vec::new();
+            let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+            for (r, &w) in weights.iter().enumerate() {
+                row_entries.clear();
+                row_entries.extend(
+                    h.row(r)
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| **v != 0.0)
+                        .map(|(c, &v)| (c, v)),
+                );
+                for &(ci, vi) in &row_entries {
+                    for &(cj, vj) in &row_entries {
+                        triplets.push((ci, cj, w * vi * vj));
+                    }
+                }
             }
-        }
-        let gain_matrix = h.transpose().matmul(&wh)?;
-        let gain = Cholesky::factor(&gain_matrix)?;
-        Ok(StateEstimator {
-            h,
-            wh,
-            weights,
-            gain,
-        })
+            let gain_matrix = SparseMatrix::from_triplets(h.cols(), h.cols(), &triplets)?;
+            let symbolic = Arc::new(SymbolicCholesky::analyze(&gain_matrix)?);
+            let gain = SparseCholesky::factor(symbolic, &gain_matrix)?;
+            GainSolver::Sparse {
+                h_sparse: SparseMatrix::from_dense(&h),
+                gain,
+            }
+        } else {
+            let mut wh = h.clone();
+            for (i, &w) in weights.iter().enumerate() {
+                for v in wh.row_mut(i) {
+                    *v *= w;
+                }
+            }
+            let gain_matrix = h.transpose().matmul(&wh)?;
+            let gain = Cholesky::factor(&gain_matrix)?;
+            GainSolver::Dense { wh, gain }
+        };
+        Ok(StateEstimator { h, weights, solver })
     }
 
     /// The measurement matrix.
@@ -163,8 +255,71 @@ impl StateEstimator {
                 actual: z.len(),
             });
         }
-        let rhs = self.wh.matvec_transposed(z)?;
-        Ok(self.gain.solve(&rhs)?)
+        match &self.solver {
+            GainSolver::Dense { wh, gain } => {
+                let rhs = wh.matvec_transposed(z)?;
+                Ok(gain.solve(&rhs)?)
+            }
+            GainSolver::Sparse { h_sparse, gain } => {
+                let rhs = h_sparse.matvec_transposed(&self.weighted(z))?;
+                Ok(gain.solve(&rhs)?)
+            }
+        }
+    }
+
+    /// ML estimates for a batch of measurement vectors through a single
+    /// multi-RHS triangular-solve pass (the attack-ensemble hot path).
+    ///
+    /// Each vector undergoes exactly the arithmetic of a standalone
+    /// [`StateEstimator::estimate`], so batched and per-vector results
+    /// are bit-identical — scoring loops can chunk attacks freely
+    /// without perturbing downstream determinism contracts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimationError::DimensionMismatch`] if any vector has
+    /// the wrong length.
+    pub fn estimate_batch(&self, zs: &[&[f64]]) -> Result<Vec<Vec<f64>>, EstimationError> {
+        let n = self.n_states();
+        let mut rhs = Matrix::zeros(n, zs.len());
+        for (c, z) in zs.iter().enumerate() {
+            if z.len() != self.n_measurements() {
+                return Err(EstimationError::DimensionMismatch {
+                    expected: self.n_measurements(),
+                    actual: z.len(),
+                });
+            }
+            let col = match &self.solver {
+                GainSolver::Dense { wh, .. } => wh.matvec_transposed(z)?,
+                GainSolver::Sparse { h_sparse, .. } => {
+                    h_sparse.matvec_transposed(&self.weighted(z))?
+                }
+            };
+            for (i, v) in col.into_iter().enumerate() {
+                rhs[(i, c)] = v;
+            }
+        }
+        let thetas = match &self.solver {
+            GainSolver::Dense { gain, .. } => gain.solve_matrix(&rhs)?,
+            GainSolver::Sparse { gain, .. } => gain.solve_matrix(&rhs)?,
+        };
+        Ok((0..zs.len()).map(|c| thetas.col(c)).collect())
+    }
+
+    /// `W z` (the diagonal weighting applied to a measurement vector).
+    fn weighted(&self, z: &[f64]) -> Vec<f64> {
+        z.iter()
+            .zip(self.weights.iter())
+            .map(|(zi, wi)| zi * wi)
+            .collect()
+    }
+
+    /// `H θ` through whichever representation of `H` the backend keeps.
+    fn h_matvec(&self, theta: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match &self.solver {
+            GainSolver::Dense { .. } => self.h.matvec(theta),
+            GainSolver::Sparse { h_sparse, .. } => h_sparse.matvec(theta),
+        }
     }
 
     /// Residual vector `r = z − Hθ̂`.
@@ -174,8 +329,33 @@ impl StateEstimator {
     /// See [`StateEstimator::estimate`].
     pub fn residual(&self, z: &[f64]) -> Result<Vec<f64>, EstimationError> {
         let theta = self.estimate(z)?;
-        let zh = self.h.matvec(&theta)?;
+        let zh = self.h_matvec(&theta)?;
         Ok(z.iter().zip(zh.iter()).map(|(a, b)| a - b).collect())
+    }
+
+    /// Weighted residual statistics `J(z)` for a batch of measurement
+    /// vectors (see [`StateEstimator::estimate_batch`] for the batching
+    /// and bit-identity contract).
+    ///
+    /// # Errors
+    ///
+    /// See [`StateEstimator::estimate_batch`].
+    pub fn residual_statistics(&self, zs: &[&[f64]]) -> Result<Vec<f64>, EstimationError> {
+        let thetas = self.estimate_batch(zs)?;
+        zs.iter()
+            .zip(thetas.iter())
+            .map(|(z, theta)| {
+                let zh = self.h_matvec(theta)?;
+                Ok(z.iter()
+                    .zip(zh.iter())
+                    .zip(self.weights.iter())
+                    .map(|((zi, zhi), wi)| {
+                        let r = zi - zhi;
+                        wi * r * r
+                    })
+                    .sum())
+            })
+            .collect()
     }
 
     /// Weighted residual statistic `J(z) = Σ wᵢ rᵢ² = ‖z − Hθ̂‖²_W`.
@@ -286,6 +466,69 @@ mod tests {
         let noise = NoiseModel::uniform(3, 1.0);
         assert_eq!(
             StateEstimator::new(h, &noise).unwrap_err(),
+            EstimationError::Unobservable
+        );
+    }
+
+    #[test]
+    fn sparse_backend_agrees_with_dense() {
+        let (net, dense_est, z) = case14_setup();
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        let noise = NoiseModel::uniform(h.rows(), 1.0);
+        let sparse_est =
+            StateEstimator::with_backend(h, &noise, super::EstimatorBackend::Sparse).unwrap();
+        let td = dense_est.estimate(&z).unwrap();
+        let ts = sparse_est.estimate(&z).unwrap();
+        assert!(vector::approx_eq(&td, &ts, 1e-9));
+        let jd = dense_est.residual_statistic(&z).unwrap();
+        let js = sparse_est.residual_statistic(&z).unwrap();
+        assert!((jd - js).abs() < 1e-8, "{jd} vs {js}");
+    }
+
+    #[test]
+    fn batch_estimates_are_bit_identical_to_singles() {
+        let (net, dense_est, z) = case14_setup();
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        let noise = NoiseModel::uniform(h.rows(), 1.0);
+        let sparse_est =
+            StateEstimator::with_backend(h, &noise, super::EstimatorBackend::Sparse).unwrap();
+        // A few shifted copies of z as a batch.
+        let zs_owned: Vec<Vec<f64>> = (0..4)
+            .map(|k| z.iter().map(|v| v + k as f64 * 0.5).collect())
+            .collect();
+        let zs: Vec<&[f64]> = zs_owned.iter().map(Vec::as_slice).collect();
+        for est in [&dense_est, &sparse_est] {
+            let batch = est.estimate_batch(&zs).unwrap();
+            let stats = est.residual_statistics(&zs).unwrap();
+            for (k, z) in zs.iter().enumerate() {
+                let single = est.estimate(z).unwrap();
+                assert_eq!(batch[k], single, "estimate batch vs single");
+                let j = est.residual_statistic(z).unwrap();
+                assert_eq!(stats[k].to_bits(), j.to_bits(), "J batch vs single");
+            }
+        }
+        // Wrong-length vector in a batch is reported.
+        assert!(dense_est.estimate_batch(&[&[1.0]]).is_err());
+    }
+
+    #[test]
+    fn sparse_backend_recovers_true_state_noiseless() {
+        let (net, _, z) = case14_setup();
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        let noise = NoiseModel::uniform(h.rows(), 1.0);
+        let est = StateEstimator::with_backend(h, &noise, super::EstimatorBackend::Sparse).unwrap();
+        assert!(est.residual_statistic(&z).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_backend_reports_unobservability() {
+        let h = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let noise = NoiseModel::uniform(3, 1.0);
+        assert_eq!(
+            StateEstimator::with_backend(h, &noise, super::EstimatorBackend::Sparse).unwrap_err(),
             EstimationError::Unobservable
         );
     }

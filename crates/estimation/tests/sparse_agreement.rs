@@ -1,0 +1,91 @@
+//! Sparse-vs-dense agreement contract for WLS estimation and BDD
+//! detection probabilities, across every benchmark case from the
+//! paper's 4-bus example to the 300-bus scaling rung.
+
+use gridmtd_estimation::{BadDataDetector, EstimatorBackend, NoiseModel, StateEstimator};
+use gridmtd_powergrid::{cases, dcpf, Network};
+
+fn all_cases() -> Vec<Network> {
+    vec![
+        cases::case4(),
+        cases::case14(),
+        cases::case30(),
+        cases::case57(),
+        cases::case118(),
+        cases::case300(),
+    ]
+}
+
+fn measurements(net: &Network, x: &[f64]) -> Vec<f64> {
+    let share = net.total_load() / net.n_gens() as f64;
+    let dispatch = vec![share; net.n_gens()];
+    dcpf::solve_dispatch(net, x, &dispatch)
+        .unwrap()
+        .measurement_vector()
+}
+
+#[test]
+fn wls_and_bdd_sparse_match_dense_on_every_case() {
+    for net in all_cases() {
+        let x = net.nominal_reactances();
+        let h = net.measurement_matrix(&x).unwrap();
+        let noise = NoiseModel::uniform(h.rows(), 1.0);
+        let dense =
+            StateEstimator::with_backend(h.clone(), &noise, EstimatorBackend::Dense).unwrap();
+        let sparse =
+            StateEstimator::with_backend(h.clone(), &noise, EstimatorBackend::Sparse).unwrap();
+
+        // A noisy-ish measurement vector: the exact power flow plus a
+        // deterministic perturbation pattern.
+        let mut z = measurements(&net, &x);
+        for (i, v) in z.iter_mut().enumerate() {
+            *v += 0.1 * ((i % 7) as f64 - 3.0);
+        }
+
+        // WLS estimates agree.
+        let td = dense.estimate(&z).unwrap();
+        let ts = sparse.estimate(&z).unwrap();
+        let scale = td.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in td.iter().zip(ts.iter()) {
+            assert!(
+                (a - b).abs() <= 1e-8 * scale,
+                "{}: estimate {a} vs {b}",
+                net.name()
+            );
+        }
+
+        // Residual statistics agree (relative: J grows with M).
+        let jd = dense.residual_statistic(&z).unwrap();
+        let js = sparse.residual_statistic(&z).unwrap();
+        assert!(
+            (jd - js).abs() <= 1e-8 * jd.max(1.0),
+            "{}: J {jd} vs {js}",
+            net.name()
+        );
+
+        // BDD detection probabilities agree: a stealthy attack (image of
+        // H) and a non-stealthy one.
+        let bdd_dense = BadDataDetector::new(dense, 5e-4);
+        let bdd_sparse = BadDataDetector::new(sparse, 5e-4);
+        let c: Vec<f64> = (0..h.cols())
+            .map(|i| 1e-3 * ((i % 5) as f64 + 1.0))
+            .collect();
+        let stealthy = h.matvec(&c).unwrap();
+        let visible: Vec<f64> = (0..h.rows())
+            .map(|i| if i % 9 == 0 { 2.5 } else { 0.0 })
+            .collect();
+        for attack in [&stealthy, &visible] {
+            let pd = bdd_dense.detection_probability(attack).unwrap();
+            let ps = bdd_sparse.detection_probability(attack).unwrap();
+            assert!(
+                (pd - ps).abs() <= 1e-6,
+                "{}: detection probability {pd} vs {ps}",
+                net.name()
+            );
+        }
+        // The stealthy attack sits at the false-positive floor on both
+        // backends.
+        let pd = bdd_sparse.detection_probability(&stealthy).unwrap();
+        assert!((pd - 5e-4).abs() < 1e-6, "{}: stealthy pd {pd}", net.name());
+    }
+}

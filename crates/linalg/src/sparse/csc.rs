@@ -1,0 +1,384 @@
+//! Compressed-sparse-column matrix storage.
+
+use crate::{LinalgError, Matrix};
+
+/// A sparse matrix in compressed-sparse-column (CSC) format.
+///
+/// Within each column the row indices are strictly ascending and
+/// duplicate-free; construction through [`SparseMatrix::from_triplets`]
+/// sums duplicates, so callers can emit contributions in any order (the
+/// natural fit for assembling susceptance and gain matrices from branch
+/// and measurement stamps).
+///
+/// Values can be rewritten in place through
+/// [`SparseMatrix::values_mut`] while the pattern stays fixed — the
+/// contract the symbolic/numeric factorization split relies on: an MTD
+/// reactance perturbation changes matrix *values*, never the sparsity
+/// *pattern*.
+///
+/// # Example
+///
+/// ```
+/// use gridmtd_linalg::sparse::SparseMatrix;
+///
+/// # fn main() -> Result<(), gridmtd_linalg::LinalgError> {
+/// let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0), (0, 0, 1.0)])?;
+/// assert_eq!(a.nnz(), 2); // duplicates summed
+/// assert_eq!(a.matvec(&[1.0, 1.0])?, vec![3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a matrix from `(row, col, value)` triplets; duplicate
+    /// coordinates are summed. Explicit zeros are kept (they are part of
+    /// the pattern, which matters for factorization reuse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if a triplet indexes out of
+    /// bounds.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<SparseMatrix, LinalgError> {
+        for &(i, j, _) in triplets {
+            if i >= nrows || j >= ncols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "sparse_from_triplets",
+                    lhs: (nrows, ncols),
+                    rhs: (i, j),
+                });
+            }
+        }
+        // Bucket by column, then sort each column by row and merge
+        // duplicates.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+        for &(i, j, v) in triplets {
+            cols[j].push((i, v));
+        }
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        col_ptr.push(0);
+        for col in cols.iter_mut() {
+            col.sort_unstable_by_key(|&(i, _)| i);
+            let mut iter = col.iter().copied();
+            if let Some((mut cur_row, mut cur_val)) = iter.next() {
+                for (i, v) in iter {
+                    if i == cur_row {
+                        cur_val += v;
+                    } else {
+                        row_idx.push(cur_row);
+                        values.push(cur_val);
+                        cur_row = i;
+                        cur_val = v;
+                    }
+                }
+                row_idx.push(cur_row);
+                values.push(cur_val);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Ok(SparseMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, keeping every entry with `|v| > 0`.
+    pub fn from_dense(a: &Matrix) -> SparseMatrix {
+        let (nrows, ncols) = a.shape();
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                let v = a[(i, j)];
+                if v != 0.0 {
+                    row_idx.push(i);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        SparseMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Dense copy of the matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            for p in self.col_range(j) {
+                out[(self.row_idx[p], j)] = self.values[p];
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Index range of column `j`'s entries into
+    /// [`SparseMatrix::row_indices`] / [`SparseMatrix::values`].
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.col_ptr[j]..self.col_ptr[j + 1]
+    }
+
+    /// Column pointers (length `ncols + 1`).
+    pub fn col_ptrs(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices, concatenated per column.
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Stored values, concatenated per column.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (the pattern is immutable):
+    /// the in-place update hook for numeric refactorization.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Entry lookup by coordinate (binary search within the column).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let r = self.col_range(j);
+        match self.row_idx[r.clone()].binary_search(&i) {
+            Ok(p) => self.values[r.start + p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Position of entry `(i, j)` in the value array, if present in the
+    /// pattern — used to precompute scatter maps for repeated numeric
+    /// refills.
+    pub fn position(&self, i: usize, j: usize) -> Option<usize> {
+        let r = self.col_range(j);
+        self.row_idx[r.clone()]
+            .binary_search(&i)
+            .ok()
+            .map(|p| r.start + p)
+    }
+
+    /// Largest absolute stored value (0 for an empty pattern).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.ncols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_matvec",
+                lhs: (self.nrows, self.ncols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.nrows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                for p in self.col_range(j) {
+                    y[self.row_idx[p]] += self.values[p] * xj;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    /// `y = Aᵀ x` (a dot product per column — no transpose materialized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != nrows`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.nrows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_matvec_transposed",
+                lhs: (self.ncols, self.nrows),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.ncols];
+        for (j, yj) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in self.col_range(j) {
+                acc += self.values[p] * x[self.row_idx[p]];
+            }
+            *yj = acc;
+        }
+        Ok(y)
+    }
+
+    /// Transposed copy (CSC of `Aᵀ` = CSR of `A`).
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &i in &self.row_idx {
+            counts[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_ptr = counts.clone();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for j in 0..self.ncols {
+            for p in self.col_range(j) {
+                let i = self.row_idx[p];
+                let q = col_ptr[i];
+                col_ptr[i] += 1;
+                row_idx[q] = j;
+                values[q] = self.values[p];
+            }
+        }
+        SparseMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            col_ptr: counts,
+            row_idx,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> SparseMatrix {
+        // [[1, 0, 2], [0, 3, 0], [4, 0, 5]]
+        SparseMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (2, 0, 4.0),
+                (1, 1, 3.0),
+                (0, 2, 2.0),
+                (2, 2, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn triplets_round_trip_through_dense() {
+        let a = example();
+        assert_eq!(a.nnz(), 5);
+        let d = a.to_dense();
+        assert_eq!(d[(0, 2)], 2.0);
+        assert_eq!(d[(1, 0)], 0.0);
+        let back = SparseMatrix::from_dense(&d);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_sorted() {
+        let a =
+            SparseMatrix::from_triplets(2, 1, &[(1, 0, 1.0), (0, 0, 2.0), (1, 0, 0.5)]).unwrap();
+        assert_eq!(a.row_indices(), &[0, 1]);
+        assert_eq!(a.values(), &[2.0, 1.5]);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_is_rejected() {
+        assert!(SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(SparseMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(a.matvec(&x).unwrap(), a.to_dense().matvec(&x).unwrap());
+        assert_eq!(
+            a.matvec_transposed(&x).unwrap(),
+            a.to_dense().matvec_transposed(&x).unwrap()
+        );
+        assert!(a.matvec(&[1.0]).is_err());
+        assert!(a.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let a = example();
+        assert_eq!(a.transpose().to_dense(), a.to_dense().transpose());
+        // Double transpose is the identity.
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn get_and_position_agree() {
+        let a = example();
+        assert_eq!(a.get(2, 0), 4.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        let p = a.position(2, 2).unwrap();
+        assert_eq!(a.values()[p], 5.0);
+        assert!(a.position(1, 2).is_none());
+    }
+
+    #[test]
+    fn values_mut_keeps_pattern() {
+        let mut a = example();
+        a.values_mut()[0] = 9.0;
+        assert_eq!(a.get(0, 0), 9.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn explicit_zeros_stay_in_the_pattern() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 1, 1.0)]).unwrap();
+        assert_eq!(a.nnz(), 2);
+        assert!(a.position(0, 0).is_some());
+    }
+}

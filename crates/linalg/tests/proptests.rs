@@ -1,8 +1,39 @@
 //! Property-based tests for the dense linear-algebra kernels.
 
-use gridmtd_linalg::{subspace, vector, Cholesky, Lu, Matrix, Qr, Svd};
+use gridmtd_linalg::{sparse, subspace, vector, Cholesky, Lu, Matrix, Qr, Svd};
 use proptest::prelude::*;
 use std::f64::consts::FRAC_PI_2;
+use std::sync::Arc;
+
+/// Strategy: a `rows × cols` matrix with ~60 % structural zeros.
+fn sparse_pattern_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec((-5.0..5.0f64, 0.0..1.0f64), rows * cols).prop_map(move |cells| {
+        let data = cells
+            .into_iter()
+            .map(|(v, keep)| if keep < 0.4 { v } else { 0.0 })
+            .collect();
+        Matrix::from_vec(rows, cols, data).expect("sized buffer")
+    })
+}
+
+/// Strategy: a sparse SPD matrix — sparse AᵀA plus a diagonal shift.
+fn sparse_spd_strategy(n: usize) -> impl Strategy<Value = sparse::SparseMatrix> {
+    sparse_pattern_strategy(n + 2, n).prop_map(move |a| {
+        let g = &a.gram() + &Matrix::identity(n);
+        sparse::SparseMatrix::from_dense(&g)
+    })
+}
+
+/// Strategy: a sparse diagonally-dominant (invertible) matrix.
+fn sparse_invertible_strategy(n: usize) -> impl Strategy<Value = sparse::SparseMatrix> {
+    sparse_pattern_strategy(n, n).prop_map(move |mut m| {
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m[(i, j)].abs()).sum();
+            m[(i, i)] = row_sum + 1.0;
+        }
+        sparse::SparseMatrix::from_dense(&m)
+    })
+}
 
 /// Strategy: a well-scaled `rows × cols` matrix with entries in [-5, 5].
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -200,5 +231,73 @@ proptest! {
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
         prop_assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    // ---- sparse backend ------------------------------------------------
+
+    #[test]
+    fn sparse_round_trips_through_dense(a in sparse_pattern_strategy(6, 4)) {
+        let sp = sparse::SparseMatrix::from_dense(&a);
+        prop_assert!(sp.to_dense().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(a in sparse_pattern_strategy(6, 4),
+                                   x in proptest::collection::vec(-3.0..3.0f64, 4),
+                                   y in proptest::collection::vec(-3.0..3.0f64, 6)) {
+        let sp = sparse::SparseMatrix::from_dense(&a);
+        prop_assert!(vector::approx_eq(&sp.matvec(&x).unwrap(),
+                                       &a.matvec(&x).unwrap(), 1e-10));
+        prop_assert!(vector::approx_eq(&sp.matvec_transposed(&y).unwrap(),
+                                       &a.matvec_transposed(&y).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn sparse_cholesky_agrees_with_dense(a in sparse_spd_strategy(7),
+                                         b in proptest::collection::vec(-10.0..10.0f64, 7)) {
+        let sym = Arc::new(sparse::SymbolicCholesky::analyze(&a).unwrap());
+        let chol = sparse::SparseCholesky::factor(sym, &a).unwrap();
+        let xs = chol.solve(&b).unwrap();
+        let xd = Cholesky::factor(&a.to_dense()).unwrap().solve(&b).unwrap();
+        prop_assert!(vector::approx_eq(&xs, &xd, 1e-6));
+    }
+
+    #[test]
+    fn sparse_cholesky_refactor_matches_cold(a in sparse_spd_strategy(7),
+                                             scales in proptest::collection::vec(0.5..2.0f64, 7)) {
+        // Value-only rescaling (S A S with S diagonal positive keeps SPD
+        // and the pattern): a warm refactor must equal a cold factor.
+        let sym = Arc::new(sparse::SymbolicCholesky::analyze(&a).unwrap());
+        let mut warm = sparse::SparseCholesky::factor(sym.clone(), &a).unwrap();
+        let mut scaled = a.clone();
+        {
+            let (rows, ptrs) = (scaled.row_indices().to_vec(), scaled.col_ptrs().to_vec());
+            let vals = scaled.values_mut();
+            for j in 0..7 {
+                for p in ptrs[j]..ptrs[j + 1] {
+                    vals[p] *= scales[j] * scales[rows[p]];
+                }
+            }
+        }
+        warm.refactor(&scaled).unwrap();
+        let cold = sparse::SparseCholesky::factor(sym, &scaled).unwrap();
+        let b = vec![1.0; 7];
+        let xw = warm.solve(&b).unwrap();
+        let xc = cold.solve(&b).unwrap();
+        for (w, c) in xw.iter().zip(xc.iter()) {
+            prop_assert!((w - c).abs() <= 1e-10 * c.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sparse_lu_agrees_with_dense(a in sparse_invertible_strategy(7),
+                                   b in proptest::collection::vec(-10.0..10.0f64, 7)) {
+        let slu = sparse::SparseLu::factor(&a).unwrap();
+        let dense = a.to_dense();
+        prop_assert!(vector::approx_eq(&slu.solve(&b).unwrap(),
+                                       &Lu::factor(&dense).unwrap().solve(&b).unwrap(), 1e-6));
+        prop_assert!(vector::approx_eq(&slu.solve_transposed(&b).unwrap(),
+                                       &Lu::factor(&dense).unwrap().solve_transposed(&b).unwrap(),
+                                       1e-6));
     }
 }

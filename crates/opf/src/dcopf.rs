@@ -103,7 +103,8 @@ pub struct OpfSolution {
     pub cost: f64,
 }
 
-/// Reusable per-trajectory OPF state: the warm-startable LP engine.
+/// Reusable per-trajectory OPF state: the warm-startable LP engine plus
+/// a power-flow context.
 ///
 /// The SPA-constrained selection (problem (4)) evaluates hundreds of
 /// DC-OPFs whose reactances drift along one Nelder–Mead trajectory while
@@ -111,12 +112,16 @@ pub struct OpfSolution {
 /// fixed. Reusing one `OpfContext` across those solves lets each LP
 /// warm-start from the previous optimal basis — typically skipping
 /// Phase 1 entirely — which is where the `select_mtd` speedup comes
-/// from. A context carries no problem data of its own: feeding it a
-/// different network or option set is always *correct* (the solver
-/// falls back to a cold start on any mismatch), just not fast.
+/// from. The embedded [`dcpf::PfContext`] additionally caches the
+/// sparse symbolic factorization of `B̃` for the flow-recovery solve at
+/// the end of every OPF. A context carries no problem data of its own:
+/// feeding it a different network or option set is always *correct*
+/// (the solvers fall back to cold starts on any mismatch), just not
+/// fast.
 #[derive(Debug, Clone, Default)]
 pub struct OpfContext {
     lp: LpSolver,
+    pf: dcpf::PfContext,
 }
 
 impl OpfContext {
@@ -239,8 +244,10 @@ pub fn solve_opf_with(
 
     let dispatch: Vec<f64> = gen_vars.iter().map(|&v| sol.x[v]).collect();
     // Recover flows/angles from a DC power flow at the LP dispatch: this
-    // also serves as an internal consistency check of the LP model.
-    let pf = dcpf::solve_dispatch(net, x, &dispatch)?;
+    // also serves as an internal consistency check of the LP model. The
+    // context's power-flow state reuses the cached symbolic
+    // factorization across the trajectory on the sparse path.
+    let pf = dcpf::solve_dispatch_with(net, x, &dispatch, &mut ctx.pf)?;
 
     // Exact cost at the LP dispatch.
     let cost: f64 = net

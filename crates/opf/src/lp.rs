@@ -27,7 +27,16 @@
 use std::error::Error;
 use std::fmt;
 
-use gridmtd_linalg::{Lu, Matrix};
+use gridmtd_linalg::sparse::{SparseLu, SparseMatrix};
+use gridmtd_linalg::{LinalgError, Lu, Matrix};
+
+/// Row-count crossover for the warm-path basis factorization: at or
+/// above this many constraint rows the basis matrix is factored with
+/// the sparse Gilbert–Peierls LU (an LP basis for a large DC-OPF has a
+/// handful of nonzeros per column, so the dense `O(m³)` factorization is
+/// the dominant cost of a warm resolve); below it the dense LU wins on
+/// constant factors and keeps the paper-scale cases byte-stable.
+const SPARSE_BASIS_MIN_ROWS: usize = 100;
 
 /// Constraint relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -537,6 +546,94 @@ impl LpSolver {
     }
 }
 
+/// Factorized basis matrix for the warm path: dense LU below
+/// [`SPARSE_BASIS_MIN_ROWS`] rows, sparse Gilbert–Peierls LU above.
+///
+/// Both factorizations serve the primal solve (`B x_B = b`), the dual
+/// solve (`Bᵀ y = c_B`) and, when pivots are still needed, the tableau
+/// build `B⁻¹[A | b]` — via an explicit inverse in the dense case and
+/// per-column sparse solves in the sparse case.
+enum BasisFactor {
+    Dense(Lu),
+    Sparse(SparseLu),
+}
+
+impl BasisFactor {
+    fn factor(std: &Standardized, saved: &[usize]) -> Result<BasisFactor, LinalgError> {
+        let m = std.a.len();
+        if m >= SPARSE_BASIS_MIN_ROWS {
+            let mut triplets = Vec::new();
+            for (k, &j) in saved.iter().enumerate() {
+                for (i, row) in std.a.iter().enumerate() {
+                    if row[j] != 0.0 {
+                        triplets.push((i, k, row[j]));
+                    }
+                }
+            }
+            let bmat = SparseMatrix::from_triplets(m, m, &triplets)?;
+            Ok(BasisFactor::Sparse(SparseLu::factor(&bmat)?))
+        } else {
+            let bmat = Matrix::from_fn(m, m, |i, k| std.a[i][saved[k]]);
+            Ok(BasisFactor::Dense(Lu::factor(&bmat)?))
+        }
+    }
+
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match self {
+            BasisFactor::Dense(lu) => lu.solve(b),
+            BasisFactor::Sparse(lu) => lu.solve(b),
+        }
+    }
+
+    fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match self {
+            BasisFactor::Dense(lu) => lu.solve_transposed(b),
+            BasisFactor::Sparse(lu) => lu.solve_transposed(b),
+        }
+    }
+
+    /// Builds the Phase-2 tableau `B⁻¹[A | b]` in the saved basis, with
+    /// the basic values `xb` (clamped at zero) in the last column.
+    fn tableau(&self, std: &Standardized, xb: &[f64]) -> Result<Vec<Vec<f64>>, LinalgError> {
+        let m = std.a.len();
+        let n = std.total_cols;
+        let width = n + 1;
+        let mut t = vec![vec![0.0; width]; m];
+        match self {
+            BasisFactor::Dense(lu) => {
+                let binv = lu.inverse()?;
+                for i in 0..m {
+                    for k in 0..m {
+                        let w = binv[(i, k)];
+                        if w != 0.0 {
+                            let (ti, ak) = (&mut t[i], &std.a[k]);
+                            for (tij, &akj) in ti.iter_mut().zip(ak.iter()) {
+                                *tij += w * akj;
+                            }
+                        }
+                    }
+                }
+            }
+            BasisFactor::Sparse(lu) => {
+                let mut rhs = vec![0.0; m];
+                for j in 0..n {
+                    for (i, row) in std.a.iter().enumerate() {
+                        rhs[i] = row[j];
+                    }
+                    let col = lu.solve(&rhs)?;
+                    for (i, v) in col.into_iter().enumerate() {
+                        t[i][j] = v;
+                    }
+                }
+            }
+        }
+        for (ti, &xbi) in t.iter_mut().zip(xb.iter()) {
+            ti[n] = xbi.max(0.0);
+        }
+        Ok(t)
+    }
+}
+
 /// Result of a warm-start attempt.
 enum WarmOutcome {
     /// Optimum reached from the saved basis.
@@ -565,8 +662,7 @@ fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpEr
         return Ok(WarmOutcome::FallBackCold);
     }
 
-    let bmat = Matrix::from_fn(m, m, |i, k| std.a[i][saved[k]]);
-    let Ok(lu) = Lu::factor(&bmat) else {
+    let Ok(lu) = BasisFactor::factor(std, saved) else {
         return Ok(WarmOutcome::FallBackCold); // singular basis
     };
     let Ok(xb) = lu.solve(&std.b) else {
@@ -616,23 +712,11 @@ fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpEr
 
     // Saved basis is feasible but no longer optimal: express the tableau
     // in that basis (t = B⁻¹[A | b]) and run Phase-2 pivots only.
-    let Ok(binv) = lu.inverse() else {
+    let Ok(t) = lu.tableau(std, &xb) else {
         return Ok(WarmOutcome::FallBackCold);
     };
+    let mut t = t;
     let width = n + 1;
-    let mut t = vec![vec![0.0; width]; m];
-    for i in 0..m {
-        for k in 0..m {
-            let w = binv[(i, k)];
-            if w != 0.0 {
-                let (ti, ak) = (&mut t[i], &std.a[k]);
-                for (tij, &akj) in ti.iter_mut().zip(ak.iter()) {
-                    *tij += w * akj;
-                }
-            }
-        }
-        t[i][n] = xb[i].max(0.0);
-    }
     let mut basis = saved.to_vec();
     match run_simplex(&mut t, &mut basis, &std.cost, n) {
         Ok(_) => {

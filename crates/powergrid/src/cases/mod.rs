@@ -22,4 +22,4 @@ mod synthetic;
 pub use case14::case14;
 pub use case30::case30;
 pub use case4::case4;
-pub use synthetic::{case118, case57, synthetic, SyntheticConfig};
+pub use synthetic::{case118, case300, case57, synthetic, SyntheticConfig};

@@ -3,10 +3,41 @@
 //! Solves `B̃ θ̃ = p̃` (slack row/column removed), then recovers branch
 //! flows `f_l = b_l (θ_i − θ_j)` and the slack injection from flow
 //! balance. This is the power-flow model of Section III of the paper.
+//!
+//! # Backends
+//!
+//! Two interchangeable linear-algebra backends solve `B̃ θ̃ = p̃`:
+//!
+//! * **dense** — the original LU path, used below
+//!   [`SPARSE_MIN_BUSES`] where a dense factor is cheapest (and byte
+//!   stable with the historical results);
+//! * **sparse** — CSC `B̃` + sparse Cholesky with a split
+//!   symbolic/numeric factorization. A reusable [`PfContext`] caches the
+//!   symbolic analysis (elimination tree, fill-reducing ordering,
+//!   pattern of `L`) *per topology*; each MTD reactance perturbation
+//!   only rewrites matrix values in place and re-runs the numeric phase
+//!   plus two sparse triangular solves.
+//!
+//! [`solve_dc`] / [`solve_dispatch`] pick the backend automatically with
+//! a fresh context; hot loops (OPF objective evaluations, Monte-Carlo
+//! trials, timeline hours) should hold one [`PfContext`] per thread and
+//! call [`solve_dc_with`] / [`solve_dispatch_with`] so the symbolic work
+//! is amortized across the whole loop.
 
+use std::sync::Arc;
+
+use gridmtd_linalg::sparse::{SparseCholesky, SparseMatrix, SymbolicCholesky};
 use gridmtd_linalg::Lu;
 
 use crate::{GridError, Network};
+
+/// Bus-count crossover between the dense and sparse backends.
+///
+/// Below this size the dense LU on the (tiny) reduced susceptance
+/// matrix wins on constant factors — and keeps the paper-scale cases
+/// (4–30 buses) byte-identical with the historical dense results. The
+/// synthetic scaling cases (57+ buses) take the sparse path.
+pub const SPARSE_MIN_BUSES: usize = 48;
 
 /// Result of a DC power-flow solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +77,207 @@ impl PowerFlow {
 /// * [`GridError::Numerical`] if the reduced susceptance matrix is
 ///   singular (cannot happen for validated, connected networks).
 pub fn solve_dc(net: &Network, x: &[f64], injections: &[f64]) -> Result<PowerFlow, GridError> {
+    solve_dc_with(net, x, injections, &mut PfContext::new())
+}
+
+/// Solves the DC power flow for a generator dispatch (MW per generator)
+/// against the network's loads.
+///
+/// # Errors
+///
+/// See [`solve_dc`] and [`Network::injections`].
+pub fn solve_dispatch(net: &Network, x: &[f64], dispatch: &[f64]) -> Result<PowerFlow, GridError> {
+    let p = net.injections(dispatch)?;
+    solve_dc(net, x, &p)
+}
+
+/// [`solve_dispatch`] with a reusable [`PfContext`].
+///
+/// # Errors
+///
+/// See [`solve_dc`] and [`Network::injections`].
+pub fn solve_dispatch_with(
+    net: &Network,
+    x: &[f64],
+    dispatch: &[f64],
+    ctx: &mut PfContext,
+) -> Result<PowerFlow, GridError> {
+    let p = net.injections(dispatch)?;
+    solve_dc_with(net, x, &p, ctx)
+}
+
+/// Linear-algebra backend selection for the DC power flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PfBackend {
+    /// Dense below [`SPARSE_MIN_BUSES`], sparse at or above it.
+    #[default]
+    Auto,
+    /// Always the dense LU path (the historical implementation).
+    Dense,
+    /// Always the sparse symbolic/numeric path (used by the agreement
+    /// property tests and the refactorization benches on small cases).
+    Sparse,
+}
+
+/// Reusable DC power-flow state: the cached symbolic factorization and
+/// workspaces of the sparse backend.
+///
+/// The expensive, topology-dependent work — fill-reducing ordering,
+/// elimination tree, nonzero pattern of the Cholesky factor, branch →
+/// matrix-slot scatter map — is done once on the first sparse solve and
+/// reused for every later solve against the *same topology*, which is
+/// exactly the MTD loop shape: reactance values drift, the grid graph
+/// never changes. Feeding a context a different [`Network`] is always
+/// correct (the cache is keyed on the topology and rebuilt on mismatch),
+/// just not fast.
+///
+/// A context carries no results, only scratch state; it is deliberately
+/// cheap to construct so per-thread contexts can be created in
+/// fan-out loops (mirroring `OpfContext` in `gridmtd-opf`).
+#[derive(Debug, Clone, Default)]
+pub struct PfContext {
+    backend: PfBackend,
+    cache: Option<SparseCache>,
+    /// Numeric-only refactorizations served by the cached symbolic
+    /// analysis (diagnostics; mirrors `OpfContext::warm_solves`).
+    refactors: u64,
+}
+
+/// Cached sparse state for one topology.
+#[derive(Debug, Clone)]
+struct SparseCache {
+    /// Topology identity: bus count, slack, branch endpoints.
+    n_buses: usize,
+    slack: usize,
+    endpoints: Vec<(usize, usize)>,
+    /// CSC `B̃` whose values are rewritten in place per solve.
+    b: SparseMatrix,
+    /// Per branch: value-array slots `(ii, jj, ij, ji)` (`usize::MAX`
+    /// for stamps that fall on the slack row/column).
+    slots: Vec<[usize; 4]>,
+    numeric: SparseCholesky,
+}
+
+/// Absent-slot sentinel in [`SparseCache::slots`].
+const NO_SLOT: usize = usize::MAX;
+
+impl PfContext {
+    /// Creates a context with automatic backend selection.
+    pub fn new() -> PfContext {
+        PfContext::default()
+    }
+
+    /// Creates a context pinned to a specific backend (property tests
+    /// and benches; production code should prefer [`PfContext::new`]).
+    pub fn with_backend(backend: PfBackend) -> PfContext {
+        PfContext {
+            backend,
+            ..PfContext::default()
+        }
+    }
+
+    /// Number of solves that reused the cached symbolic factorization
+    /// (numeric refactorization only).
+    pub fn symbolic_reuses(&self) -> u64 {
+        self.refactors
+    }
+
+    /// Whether `net` would take the sparse path under this context's
+    /// backend policy.
+    pub fn uses_sparse(&self, net: &Network) -> bool {
+        match self.backend {
+            PfBackend::Auto => net.n_buses() >= SPARSE_MIN_BUSES,
+            PfBackend::Dense => false,
+            PfBackend::Sparse => true,
+        }
+    }
+
+    /// Ensures the cache matches `net`'s topology, rebuilding the
+    /// symbolic factorization if needed, then rewrites the values for
+    /// `suscept` and runs the numeric phase.
+    fn refactor(&mut self, net: &Network, suscept: &[f64]) -> Result<&SparseCholesky, GridError> {
+        let matches = self.cache.as_ref().is_some_and(|c| {
+            c.n_buses == net.n_buses()
+                && c.slack == net.slack()
+                && c.endpoints.len() == net.n_branches()
+                && c.endpoints
+                    .iter()
+                    .zip(net.branches())
+                    .all(|(&(f, t), br)| f == br.from && t == br.to)
+        });
+        if !matches {
+            self.cache = Some(SparseCache::build(net, suscept)?);
+        } else {
+            let cache = self.cache.as_mut().expect("cache checked above");
+            let values = cache.b.values_mut();
+            values.fill(0.0);
+            for (l, slots) in cache.slots.iter().enumerate() {
+                let bl = suscept[l];
+                let [ii, jj, ij, ji] = *slots;
+                if ii != NO_SLOT {
+                    values[ii] += bl;
+                }
+                if jj != NO_SLOT {
+                    values[jj] += bl;
+                }
+                if ij != NO_SLOT {
+                    values[ij] -= bl;
+                }
+                if ji != NO_SLOT {
+                    values[ji] -= bl;
+                }
+            }
+            cache.numeric.refactor(&cache.b)?;
+            self.refactors += 1;
+        }
+        Ok(&self.cache.as_ref().expect("cache populated above").numeric)
+    }
+}
+
+impl SparseCache {
+    fn build(net: &Network, suscept: &[f64]) -> Result<SparseCache, GridError> {
+        // One source of truth for the stamping pattern: the slot map
+        // below is derived from the very matrix `b_reduced_sparse_from`
+        // assembles, so the two can never drift apart.
+        let b = net.b_reduced_sparse_from(suscept)?;
+        let slot = |i: Option<usize>, j: Option<usize>| match (i, j) {
+            (Some(i), Some(j)) => b.position(i, j).expect("stamped entry is in the pattern"),
+            _ => NO_SLOT,
+        };
+        let slots = net
+            .branches()
+            .iter()
+            .map(|br| {
+                let (ri, rj) = (net.reduced_index(br.from), net.reduced_index(br.to));
+                [slot(ri, ri), slot(rj, rj), slot(ri, rj), slot(rj, ri)]
+            })
+            .collect();
+        let symbolic = Arc::new(SymbolicCholesky::analyze(&b)?);
+        let numeric = SparseCholesky::factor(symbolic, &b)?;
+        Ok(SparseCache {
+            n_buses: net.n_buses(),
+            slack: net.slack(),
+            endpoints: net.branches().iter().map(|br| (br.from, br.to)).collect(),
+            b,
+            slots,
+            numeric,
+        })
+    }
+}
+
+/// [`solve_dc`] with a reusable [`PfContext`]: on the sparse path, only
+/// the numeric factorization phase and two triangular solves run per
+/// call once the context has seen the topology.
+///
+/// # Errors
+///
+/// Same contract as [`solve_dc`].
+pub fn solve_dc_with(
+    net: &Network,
+    x: &[f64],
+    injections: &[f64],
+    ctx: &mut PfContext,
+) -> Result<PowerFlow, GridError> {
     let n = net.n_buses();
     if injections.len() != n {
         return Err(GridError::DimensionMismatch {
@@ -54,14 +286,26 @@ pub fn solve_dc(net: &Network, x: &[f64], injections: &[f64]) -> Result<PowerFlo
             actual: injections.len(),
         });
     }
-    let b_red = net.b_reduced(x)?;
     let slack = net.slack();
-    let p_red: Vec<f64> = injections
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &p)| (i != slack).then_some(p))
-        .collect();
-    let theta_red = Lu::factor(&b_red)?.solve(&p_red)?;
+    let p_red = |injections: &[f64]| -> Vec<f64> {
+        injections
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (i != slack).then_some(p))
+            .collect()
+    };
+
+    let (theta_red, b) = if ctx.uses_sparse(net) {
+        let b = net.susceptances(x)?;
+        let numeric = ctx.refactor(net, &b)?;
+        (numeric.solve(&p_red(injections))?, b)
+    } else {
+        // The historical dense path, operation for operation (byte
+        // stability for the paper-scale cases).
+        let b_red = net.b_reduced(x)?;
+        let theta_red = Lu::factor(&b_red)?.solve(&p_red(injections))?;
+        (theta_red, net.susceptances(x)?)
+    };
 
     let mut theta = Vec::with_capacity(n);
     let mut it = theta_red.iter();
@@ -73,7 +317,6 @@ pub fn solve_dc(net: &Network, x: &[f64], injections: &[f64]) -> Result<PowerFlo
         }
     }
 
-    let b = net.susceptances(x)?;
     let flows: Vec<f64> = net
         .branches()
         .iter()
@@ -93,17 +336,6 @@ pub fn solve_dc(net: &Network, x: &[f64], injections: &[f64]) -> Result<PowerFlo
         flows,
         injections: realized,
     })
-}
-
-/// Solves the DC power flow for a generator dispatch (MW per generator)
-/// against the network's loads.
-///
-/// # Errors
-///
-/// See [`solve_dc`] and [`Network::injections`].
-pub fn solve_dispatch(net: &Network, x: &[f64], dispatch: &[f64]) -> Result<PowerFlow, GridError> {
-    let p = net.injections(dispatch)?;
-    solve_dc(net, x, &p)
 }
 
 #[cfg(test)]
@@ -202,6 +434,88 @@ mod tests {
     fn injection_length_is_validated() {
         let net = cases::case4();
         assert!(solve_dc(&net, &net.nominal_reactances(), &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn sparse_backend_agrees_with_dense_on_small_case() {
+        let net = cases::case14();
+        let x = net.nominal_reactances();
+        let dispatch = [150.0, 40.0, 20.0, 30.0, 19.0];
+        let dense = solve_dispatch(&net, &x, &dispatch).unwrap();
+        let mut ctx = PfContext::with_backend(PfBackend::Sparse);
+        let sparse = solve_dispatch_with(&net, &x, &dispatch, &mut ctx).unwrap();
+        for (a, b) in dense.theta.iter().zip(sparse.theta.iter()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        for (a, b) in dense.flows.iter().zip(sparse.flows.iter()) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn context_reuses_symbolic_factorization_across_perturbations() {
+        let net = cases::case14();
+        let mut ctx = PfContext::with_backend(PfBackend::Sparse);
+        let dispatch = [150.0, 40.0, 20.0, 30.0, 19.0];
+        let mut x = net.nominal_reactances();
+        for k in 0..5 {
+            for l in net.dfacts_branches() {
+                x[l] *= 1.0 + 0.01 * (k as f64 + 1.0);
+            }
+            let warm = solve_dispatch_with(&net, &x, &dispatch, &mut ctx).unwrap();
+            // A cold context (fresh symbolic analysis) must match the
+            // refactored path bit for bit: the numeric phase is
+            // identical arithmetic either way.
+            let cold = solve_dispatch_with(
+                &net,
+                &x,
+                &dispatch,
+                &mut PfContext::with_backend(PfBackend::Sparse),
+            )
+            .unwrap();
+            assert_eq!(warm, cold);
+        }
+        assert_eq!(ctx.symbolic_reuses(), 4, "first solve analyzes, rest reuse");
+    }
+
+    #[test]
+    fn context_rebuilds_on_topology_change() {
+        let mut ctx = PfContext::with_backend(PfBackend::Sparse);
+        let a = cases::case14();
+        let b = cases::case30();
+        solve_dispatch_with(
+            &a,
+            &a.nominal_reactances(),
+            &[150.0, 40.0, 20.0, 30.0, 19.0],
+            &mut ctx,
+        )
+        .unwrap();
+        // Different topology: cache must be rebuilt, not reused.
+        let pf = solve_dispatch_with(
+            &b,
+            &b.nominal_reactances(),
+            &[60.0, 55.0, 25.0, 20.0, 15.0, 14.2],
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(ctx.symbolic_reuses(), 0);
+        let direct = solve_dispatch(
+            &b,
+            &b.nominal_reactances(),
+            &[60.0, 55.0, 25.0, 20.0, 15.0, 14.2],
+        )
+        .unwrap();
+        for (x, y) in pf.theta.iter().zip(direct.theta.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn auto_backend_crossover_is_by_bus_count() {
+        let ctx = PfContext::new();
+        assert!(!ctx.uses_sparse(&cases::case30()));
+        assert!(ctx.uses_sparse(&cases::case57()));
+        assert!(!PfContext::with_backend(PfBackend::Dense).uses_sparse(&cases::case57()));
     }
 
     #[test]

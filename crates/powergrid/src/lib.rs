@@ -30,9 +30,10 @@ pub mod dcpf;
 mod error;
 pub mod measurement;
 mod network;
+pub mod stats;
 mod types;
 
-pub use dcpf::PowerFlow;
+pub use dcpf::{PfBackend, PfContext, PowerFlow};
 pub use error::GridError;
 pub use measurement::MeasurementLayout;
 pub use network::Network;

@@ -1,9 +1,10 @@
 //! The [`Network`] model: topology, matrices and the DC measurement model.
 
+use gridmtd_linalg::sparse::SparseMatrix;
 use gridmtd_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
-use crate::{Branch, Bus, Generator, GridError};
+use crate::{stats, Branch, Bus, Generator, GridError};
 
 /// A validated power network under the DC power-flow model.
 ///
@@ -315,6 +316,7 @@ impl Network {
     ///
     /// See [`Network::check_reactances`].
     pub fn b_matrix(&self, x: &[f64]) -> Result<Matrix, GridError> {
+        stats::count_susceptance_build();
         let b = self.susceptances(x)?;
         let n = self.n_buses();
         let mut m = Matrix::zeros(n, n);
@@ -341,6 +343,52 @@ impl Network {
             .without_col(self.slack))
     }
 
+    /// Maps a bus index to its row/column in the slack-reduced state
+    /// space (`None` for the slack bus itself).
+    pub fn reduced_index(&self, bus: usize) -> Option<usize> {
+        match bus.cmp(&self.slack) {
+            std::cmp::Ordering::Less => Some(bus),
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some(bus - 1),
+        }
+    }
+
+    /// Sparse (CSC) reduced susceptance matrix, assembled directly from
+    /// the branch stamps without a dense intermediate. The pattern
+    /// depends only on the topology; for repeated reactance updates use
+    /// [`crate::dcpf::PfContext`], which keeps the pattern (and its
+    /// symbolic factorization) cached and rewrites values in place.
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::check_reactances`].
+    pub fn b_reduced_sparse(&self, x: &[f64]) -> Result<SparseMatrix, GridError> {
+        let b = self.susceptances(x)?;
+        self.b_reduced_sparse_from(&b)
+    }
+
+    /// [`Network::b_reduced_sparse`] from already-validated branch
+    /// susceptances — the single source of the CSC stamping pattern,
+    /// shared with the power-flow context's slot map.
+    pub(crate) fn b_reduced_sparse_from(&self, b: &[f64]) -> Result<SparseMatrix, GridError> {
+        let n_red = self.n_states();
+        let mut triplets = Vec::with_capacity(4 * self.branches.len());
+        for (l, br) in self.branches.iter().enumerate() {
+            let (ri, rj) = (self.reduced_index(br.from), self.reduced_index(br.to));
+            if let Some(i) = ri {
+                triplets.push((i, i, b[l]));
+            }
+            if let Some(j) = rj {
+                triplets.push((j, j, b[l]));
+            }
+            if let (Some(i), Some(j)) = (ri, rj) {
+                triplets.push((i, j, -b[l]));
+                triplets.push((j, i, -b[l]));
+            }
+        }
+        SparseMatrix::from_triplets(n_red, n_red, &triplets).map_err(GridError::from)
+    }
+
     /// DC measurement matrix `H ∈ R^{M×(N−1)}` mapping the reduced state
     /// (non-slack phase angles) to measurements
     /// `z = [f; −f; p]` (forward branch flows, reverse branch flows, nodal
@@ -351,6 +399,7 @@ impl Network {
     ///
     /// See [`Network::check_reactances`].
     pub fn measurement_matrix(&self, x: &[f64]) -> Result<Matrix, GridError> {
+        stats::count_measurement_matrix_build();
         let b = self.susceptances(x)?;
         let n = self.n_buses();
         let nl = self.n_branches();

@@ -1,0 +1,52 @@
+//! Process-wide build counters for the expensive model matrices.
+//!
+//! The hot loops of the MTD analysis are supposed to *reuse* matrix
+//! structure (cached measurement matrices, the sparse power-flow
+//! context's symbolic factorization) rather than rebuild it. These
+//! counters make that property testable: a regression test can take a
+//! snapshot, run a pipeline, and assert an upper bound on the number of
+//! rebuilds — catching accidental per-iteration reconstruction long
+//! before it shows up in a wall-clock benchmark.
+//!
+//! Counters are monotone, process-global and use relaxed atomics: they
+//! order nothing and cost a handful of nanoseconds per build. Tests that
+//! assert on deltas should run in their own integration-test binary so
+//! concurrently running tests cannot inflate the count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MEASUREMENT_MATRIX_BUILDS: AtomicU64 = AtomicU64::new(0);
+static SUSCEPTANCE_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of dense measurement-matrix (`H`) constructions so far.
+pub fn measurement_matrix_builds() -> u64 {
+    MEASUREMENT_MATRIX_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of full susceptance-matrix (`B`) constructions so far
+/// (the dense `b_matrix` / `b_reduced` path).
+pub fn susceptance_builds() -> u64 {
+    SUSCEPTANCE_BUILDS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn count_measurement_matrix_build() {
+    MEASUREMENT_MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_susceptance_build() {
+    SUSCEPTANCE_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let before = measurement_matrix_builds();
+        count_measurement_matrix_build();
+        count_susceptance_build();
+        assert!(measurement_matrix_builds() > before);
+        assert!(susceptance_builds() >= 1);
+    }
+}

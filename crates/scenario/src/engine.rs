@@ -44,6 +44,7 @@ pub fn build_network(grid: &GridSpec) -> Network {
         CaseId::Case30 => cases::case30(),
         CaseId::Case57 => cases::case57(),
         CaseId::Case118 => cases::case118(),
+        CaseId::Case300 => cases::case300(),
         CaseId::Synthetic { buses, seed } => {
             let config = cases::SyntheticConfig {
                 n_buses: buses,

@@ -54,6 +54,9 @@ pub enum CaseId {
     Case57,
     /// Pinned-seed synthetic network at IEEE-118 scale.
     Case118,
+    /// Pinned-seed synthetic network at IEEE-300 scale (sparse-backend
+    /// stress rung).
+    Case300,
     /// Freely parameterized synthetic network.
     Synthetic {
         /// Number of buses (≥ 2).
@@ -72,6 +75,7 @@ impl CaseId {
             CaseId::Case30 => "case30".to_string(),
             CaseId::Case57 => "case57".to_string(),
             CaseId::Case118 => "case118".to_string(),
+            CaseId::Case300 => "case300".to_string(),
             CaseId::Synthetic { .. } => "synthetic".to_string(),
         }
     }
@@ -277,6 +281,7 @@ fn decode_grid(section: &Section<'_>) -> Result<GridSpec, ScenarioError> {
         "case30" => CaseId::Case30,
         "case57" => CaseId::Case57,
         "case118" => CaseId::Case118,
+        "case300" => CaseId::Case300,
         "synthetic" => CaseId::Synthetic {
             buses: section.req_usize("buses")?,
             seed: section.opt_u64("case_seed")?.unwrap_or(1),
@@ -286,7 +291,7 @@ fn decode_grid(section: &Section<'_>) -> Result<GridSpec, ScenarioError> {
                 "case",
                 format!(
                     "unknown case `{other}`; expected case4, case14, case30, \
-                     case57, case118, or synthetic"
+                     case57, case118, case300, or synthetic"
                 ),
             ))
         }
