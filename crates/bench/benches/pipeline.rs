@@ -7,11 +7,19 @@
 //! reactances drift, exactly how `select_mtd`'s Nelder–Mead trajectory
 //! consumes the solver. `dc_opf_cold/*` keeps the from-scratch reference
 //! visible.
+//!
+//! `session_select_warm/case118` vs `select_mtd_with/case118` pins the
+//! session-layer contract: routing a selection through a warm
+//! [`MtdSession`] must not be slower than hand-threading the hoisted
+//! `H(x_pre)` + QR basis into `select_mtd_with` (the CI gate holds the
+//! ratio at ≤ 1.05×; on the sparse path the session is strictly faster
+//! because its primed power-flow prototype amortizes the symbolic
+//! factorization the hand-threaded path re-runs per context).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use gridmtd_core::{effectiveness, selection, MtdConfig};
+use gridmtd_core::{effectiveness, selection, spa, MtdConfig, MtdSession};
 use gridmtd_opf::{solve_opf, solve_opf_with, OpfContext, OpfOptions};
 use gridmtd_powergrid::{cases, Network};
 
@@ -106,9 +114,75 @@ fn bench_selection(c: &mut Criterion) {
     });
 }
 
+fn bench_session(c: &mut Criterion) {
+    // The session-layer gate pair: one reduced-budget case118 selection,
+    // once through a warm session and once through the hand-threaded
+    // hoisted path (precomputed H + basis, fresh contexts inside).
+    // Identical budgets and threshold, so the rows are directly
+    // comparable within one run.
+    // γ_th = 0 keeps the search in its first penalty round, so every
+    // iteration runs the same deterministic amount of work — tight
+    // enough for the 1.05× within-run gate to be meaningful.
+    //
+    // Setup (case118 H build, QR, session warm-up) runs seconds, so it
+    // is lazy: a filtered `cargo bench` run that excludes both rows
+    // never pays for it (`bench_function` skips the closure entirely).
+    let cfg = MtdConfig {
+        n_starts: 1,
+        max_evals_per_start: 20,
+        ..MtdConfig::default()
+    };
+    let gamma_th = 0.0;
+    let warm: std::sync::OnceLock<(
+        Network,
+        Vec<f64>,
+        gridmtd_linalg::Matrix,
+        spa::GammaBasis,
+        MtdSession,
+    )> = std::sync::OnceLock::new();
+    let warm = |cfg: &MtdConfig| {
+        warm.get_or_init(|| {
+            let net = cases::case118();
+            let x_pre = net.nominal_reactances();
+            let h_pre = net.measurement_matrix(&x_pre).unwrap();
+            let basis = spa::GammaBasis::new(&h_pre).unwrap();
+            let session = MtdSession::builder(net.clone())
+                .config(cfg.clone())
+                .build()
+                .unwrap();
+            session.select(gamma_th).unwrap(); // warm every cache once
+            (net, x_pre, h_pre, basis, session)
+        })
+    };
+
+    // The hand-threaded reference runs first: machine warm-up (page
+    // cache, frequency ramp) penalizes the first row measured, and the
+    // gate must not pass on that accident.
+    c.bench_function("select_mtd_with/case118", |b| {
+        let (net, x_pre, h_pre, basis, _) = warm(&cfg);
+        b.iter(|| {
+            selection::select_mtd_with(black_box(net), x_pre, h_pre, basis, gamma_th, &cfg).unwrap()
+        })
+    });
+
+    c.bench_function("session_select_warm/case118", |b| {
+        let (_, _, _, _, session) = warm(&cfg);
+        b.iter(|| black_box(session).select(gamma_th).unwrap())
+    });
+}
+
 criterion_group! {
     name = pipeline;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_opf, bench_effectiveness, bench_selection
 }
-criterion_main!(pipeline);
+// The case118 selection pair runs seconds per iteration; a smaller
+// sample keeps the CI bench step affordable while the within-run ratio
+// gate stays meaningful (both rows share one process and machine
+// state).
+criterion_group! {
+    name = session_pipeline;
+    config = Criterion::default().sample_size(3).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_session
+}
+criterion_main!(pipeline, session_pipeline);

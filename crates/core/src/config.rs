@@ -3,6 +3,8 @@
 use gridmtd_opf::{NelderMeadOptions, OpfOptions};
 use serde::{Deserialize, Serialize};
 
+use crate::MtdError;
+
 /// Configuration for MTD evaluation and selection.
 ///
 /// Defaults follow the paper's Section VII-A where the paper specifies a
@@ -84,6 +86,39 @@ impl MtdConfig {
             ..NelderMeadOptions::default()
         }
     }
+
+    /// Validates the numeric fields, rejecting NaN and out-of-range
+    /// thresholds with a typed [`MtdError::InvalidConfig`].
+    ///
+    /// [`crate::MtdSession`] construction runs this up front, so a bad
+    /// configuration fails at the session boundary with the field name
+    /// attached — instead of deep inside selection as a cryptic
+    /// optimizer or χ² failure (or, for a NaN α, not at all).
+    ///
+    /// # Errors
+    ///
+    /// [`MtdError::InvalidConfig`] naming the first offending field:
+    ///
+    /// * `alpha` must be a probability strictly inside `(0, 1)`;
+    /// * `noise_sigma_mw` and `attack_ratio` must be finite and `> 0`;
+    /// * `eta_max` must lie in `(0, 1)` (a D-FACTS range of 100 % or
+    ///   more would allow non-positive reactances).
+    pub fn validate(&self) -> Result<(), MtdError> {
+        let invalid = |field: &'static str, value: f64| MtdError::InvalidConfig { field, value };
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(invalid("alpha", self.alpha));
+        }
+        if !(self.noise_sigma_mw.is_finite() && self.noise_sigma_mw > 0.0) {
+            return Err(invalid("noise_sigma_mw", self.noise_sigma_mw));
+        }
+        if !(self.attack_ratio.is_finite() && self.attack_ratio > 0.0) {
+            return Err(invalid("attack_ratio", self.attack_ratio));
+        }
+        if !(self.eta_max > 0.0 && self.eta_max < 1.0) {
+            return Err(invalid("eta_max", self.eta_max));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +147,62 @@ mod tests {
         let c = MtdConfig::default();
         assert_eq!(c.opf_options().pwl_segments, 10);
         assert_eq!(c.nm_options().max_evals, 400);
+    }
+
+    #[test]
+    fn validate_rejects_nan_and_out_of_range_fields() {
+        assert!(MtdConfig::default().validate().is_ok());
+        assert!(MtdConfig::fast_test().validate().is_ok());
+        let defaults = MtdConfig::default;
+        let cases = [
+            (
+                "alpha",
+                MtdConfig {
+                    alpha: f64::NAN,
+                    ..defaults()
+                },
+            ),
+            (
+                "alpha",
+                MtdConfig {
+                    alpha: 1.0,
+                    ..defaults()
+                },
+            ),
+            (
+                "noise_sigma_mw",
+                MtdConfig {
+                    noise_sigma_mw: -0.1,
+                    ..defaults()
+                },
+            ),
+            (
+                "attack_ratio",
+                MtdConfig {
+                    attack_ratio: 0.0,
+                    ..defaults()
+                },
+            ),
+            (
+                "eta_max",
+                MtdConfig {
+                    eta_max: 1.0,
+                    ..defaults()
+                },
+            ),
+            (
+                "eta_max",
+                MtdConfig {
+                    eta_max: -0.5,
+                    ..defaults()
+                },
+            ),
+        ];
+        for (field, cfg) in cases {
+            match cfg.validate().unwrap_err() {
+                MtdError::InvalidConfig { field: f, .. } => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
     }
 }

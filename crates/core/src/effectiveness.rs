@@ -16,7 +16,7 @@
 //! bit-identical to serial.
 
 use gridmtd_attack::{AttackerKnowledge, FdiAttack};
-use gridmtd_estimation::{BadDataDetector, NoiseModel, StateEstimator};
+use gridmtd_estimation::{BadDataDetector, EstimatorContext, NoiseModel, StateEstimator};
 use gridmtd_linalg::Matrix;
 use gridmtd_powergrid::{dcpf, Network};
 use rand::rngs::StdRng;
@@ -105,8 +105,22 @@ pub fn post_mtd_detector(
 ///
 /// Propagates model-construction failures.
 pub fn detector_from_h(h_post: Matrix, cfg: &MtdConfig) -> Result<BadDataDetector, MtdError> {
+    detector_from_h_ctx(h_post, cfg, &mut EstimatorContext::new())
+}
+
+/// [`detector_from_h`] with a reusable [`EstimatorContext`]: on the
+/// sparse estimator backend the gain matrix's symbolic factorization is
+/// shared across every detector built for the same topology (the
+/// pattern of `HᵀWH` never changes under reactance perturbations), so
+/// only the numeric phase runs per candidate. Bit-identical to the
+/// fresh-context path.
+pub(crate) fn detector_from_h_ctx(
+    h_post: Matrix,
+    cfg: &MtdConfig,
+    est_ctx: &mut EstimatorContext,
+) -> Result<BadDataDetector, MtdError> {
     let noise = NoiseModel::uniform(h_post.rows(), cfg.noise_sigma_mw);
-    let est = StateEstimator::new(h_post, &noise)?;
+    let est = StateEstimator::with_context(h_post, &noise, est_ctx)?;
     Ok(BadDataDetector::new(est, cfg.alpha))
 }
 
@@ -142,7 +156,29 @@ pub fn build_attack_set_with_h(
     dispatch_pre: &[f64],
     cfg: &MtdConfig,
 ) -> Result<Vec<FdiAttack>, MtdError> {
-    let pf = dcpf::solve_dispatch(net, x_pre, dispatch_pre)?;
+    build_attack_set_impl(
+        net,
+        h_pre,
+        x_pre,
+        dispatch_pre,
+        cfg,
+        &dcpf::PfContext::new(),
+    )
+}
+
+/// [`build_attack_set_with_h`] seeded with a power-flow context
+/// prototype for the eavesdropped-measurement solve (the session's
+/// shared symbolic factorization; a clone of an unprimed prototype is a
+/// fresh context, and primed solves are pinned bit-identical to cold).
+pub(crate) fn build_attack_set_impl(
+    net: &Network,
+    h_pre: &Matrix,
+    x_pre: &[f64],
+    dispatch_pre: &[f64],
+    cfg: &MtdConfig,
+    pf_proto: &dcpf::PfContext,
+) -> Result<Vec<FdiAttack>, MtdError> {
+    let pf = dcpf::solve_dispatch_with(net, x_pre, dispatch_pre, &mut pf_proto.clone())?;
     let z_pre = pf.measurement_vector();
     let attacker = AttackerKnowledge::learned(h_pre.clone(), 0);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -231,9 +267,14 @@ pub fn evaluate_mtd(
     x_post: &[f64],
     cfg: &MtdConfig,
 ) -> Result<MtdEvaluation, MtdError> {
-    let opf_pre = gridmtd_opf::solve_opf(net, x_pre, &cfg.opf_options())?;
-    let attacks = build_attack_set(net, x_pre, &opf_pre.dispatch, cfg)?;
-    evaluate_with_attacks(net, x_pre, x_post, &attacks, cfg)
+    // Thin compatibility wrapper over the session (which caches the
+    // pre-perturbation OPF and the ensemble it scales); bit-identical
+    // to the historical solve-build-evaluate sequence.
+    crate::MtdSession::builder(net.clone())
+        .config(cfg.clone())
+        .x_pre(x_pre.to_vec())
+        .build()?
+        .evaluate(x_post)
 }
 
 /// Monte-Carlo cross-check of the analytic detection probability for one

@@ -19,6 +19,17 @@ pub enum MtdError {
     },
     /// The OPF under every candidate perturbation was infeasible.
     Infeasible,
+    /// An [`crate::MtdConfig`] field failed validation at session build
+    /// time (NaN / non-positive threshold, `eta_max` outside `(0, 1)`,
+    /// …). Carrying the field name and offending value up front beats
+    /// the historical behavior of failing — or silently misbehaving —
+    /// deep inside selection.
+    InvalidConfig {
+        /// Name of the offending configuration field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
     /// A detection probability evaluated to NaN (numerical breakdown in
     /// the noncentral-χ² tail computation); carries the index of the
     /// offending attack so the ensemble entry can be inspected.
@@ -47,6 +58,9 @@ impl fmt::Display for MtdError {
                 "SPA threshold {requested:.3} rad unreachable within D-FACTS limits (best {achieved:.3})"
             ),
             MtdError::Infeasible => write!(f, "no feasible MTD perturbation"),
+            MtdError::InvalidConfig { field, value } => {
+                write!(f, "invalid MtdConfig: {field} = {value} is not allowed")
+            }
             MtdError::NanDetectionProbability { index } => {
                 write!(f, "detection probability of attack {index} is NaN")
             }

@@ -19,13 +19,15 @@
 //! from a stream seeded by its sample count, so the study is a pure
 //! function of its arguments for any worker count.
 
+use std::sync::Mutex;
+
 use gridmtd_attack::SubspaceLearner;
-use gridmtd_estimation::NoiseModel;
+use gridmtd_estimation::{EstimatorContext, NoiseModel};
 use gridmtd_powergrid::{dcpf, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{effectiveness, MtdConfig, MtdError};
+use crate::{session, MtdConfig, MtdError, MtdSession};
 
 /// Parameters of the attacker-relearning study.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +96,26 @@ pub fn attacker_learning_study(
     opts: &LearningOptions,
     cfg: &MtdConfig,
 ) -> Result<Vec<LearningPoint>, MtdError> {
+    // Thin compatibility wrapper over the session-owned implementation
+    // (bit-identical; the session just adds shareable warm contexts).
+    MtdSession::builder(net.clone())
+        .config(cfg.clone())
+        .build()?
+        .learning_study(x_post, opts)
+}
+
+/// The study body, parameterized over the session's warm contexts: a
+/// power-flow prototype for the snapshot solves (numeric-only
+/// refactorizations on the sparse path) and the shared gain-symbolic
+/// cache for the detector build. Bit-identical to fresh contexts.
+pub(crate) fn attacker_learning_study_impl(
+    net: &Network,
+    x_post: &[f64],
+    opts: &LearningOptions,
+    cfg: &MtdConfig,
+    pf_proto: &dcpf::PfContext,
+    est_ctx: &Mutex<EstimatorContext>,
+) -> Result<Vec<LearningPoint>, MtdError> {
     assert!(
         !opts.sample_counts.is_empty(),
         "sample_counts must be non-empty"
@@ -113,7 +135,7 @@ pub fn attacker_learning_study(
 
     // The operator's world: detector and reference measurements at the
     // post-perturbation reactances.
-    let bdd = effectiveness::post_mtd_detector(net, x_post, cfg)?;
+    let bdd = session::detector_via(est_ctx, net.measurement_matrix(x_post)?, cfg)?;
     let noise = NoiseModel::uniform(net.n_measurements(), cfg.noise_sigma_mw);
 
     // Eavesdropped snapshots, generated once (sequential stream seeded
@@ -122,6 +144,9 @@ pub fn attacker_learning_study(
     let nominal_loads = net.loads();
     let mut snapshots: Vec<Vec<f64>> = Vec::with_capacity(n_max);
     let mut z_ref: Vec<f64> = Vec::new();
+    // One warm power-flow context serves every snapshot solve (warm
+    // refactorizations are pinned bit-identical to cold solves).
+    let mut pf_ctx = pf_proto.clone();
     for k in 0..n_max {
         let loads: Vec<f64> = nominal_loads
             .iter()
@@ -138,7 +163,7 @@ pub fn attacker_learning_study(
             .iter()
             .map(|w| w / wsum * net_k.total_load())
             .collect();
-        let pf = dcpf::solve_dispatch(&net_k, x_post, &dispatch)?;
+        let pf = dcpf::solve_dispatch_with(&net_k, x_post, &dispatch, &mut pf_ctx)?;
         let z = noise.corrupt(&pf.measurement_vector(), &mut rng);
         if k == 0 {
             z_ref = z.clone();

@@ -25,27 +25,33 @@
 //! 7. [`learning`] — the attacker-relearning timeline behind the
 //!    reconfiguration-period argument (Section IV-A).
 //!
-//! The sweep entry points ([`tradeoff_sweep`], [`random_keyspace_study`],
-//! [`simulate_day`], [`attacker_learning_study`]) are re-exported at the
-//! crate root; the `gridmtd-scenario` crate drives them from declarative
-//! TOML specs.
+//! The stateful [`session`] layer ties the pipeline together:
+//! [`MtdSession`] owns every warm cache (measurement matrices, QR
+//! bases, symbolic factorizations, attack ensembles, baselines) and
+//! exposes the whole pipeline as methods, with a typed batch layer
+//! ([`session::batch`]) for sweep drivers. The historical free-function
+//! entry points ([`tradeoff_sweep`], [`random_keyspace_study`],
+//! [`simulate_day`], [`attacker_learning_study`]) remain as thin,
+//! bit-identical wrappers that build a throwaway session; the
+//! `gridmtd-scenario` crate drives the session from declarative TOML
+//! specs.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use gridmtd_core::{effectiveness, MtdConfig};
+//! use gridmtd_core::{MtdConfig, MtdSession};
 //! use gridmtd_powergrid::cases;
 //!
 //! # fn main() -> Result<(), gridmtd_core::MtdError> {
 //! let net = cases::case14();
 //! let cfg = MtdConfig { n_attacks: 100, ..MtdConfig::default() };
-//! let x_pre = net.nominal_reactances();
+//! let session = MtdSession::builder(net).config(cfg).build()?;
 //! // A sign-mixed ±40% perturbation of the D-FACTS lines:
-//! let mut x_post = x_pre.clone();
-//! for (k, l) in net.dfacts_branches().into_iter().enumerate() {
+//! let mut x_post = session.x_pre().to_vec();
+//! for (k, l) in session.network().dfacts_branches().into_iter().enumerate() {
 //!     x_post[l] *= if k % 2 == 0 { 1.4 } else { 0.6 };
 //! }
-//! let eval = effectiveness::evaluate_mtd(&net, &x_pre, &x_post, &cfg)?;
+//! let eval = session.evaluate(&x_post)?;
 //! println!("γ = {:.3} rad, η'(0.9) = {:.2}", eval.gamma, eval.effectiveness(0.9));
 //! # Ok(())
 //! # }
@@ -58,6 +64,7 @@ mod error;
 pub mod impact;
 pub mod learning;
 pub mod selection;
+pub mod session;
 pub mod spa;
 pub mod theory;
 pub mod timeline;
@@ -68,6 +75,7 @@ pub use effectiveness::MtdEvaluation;
 pub use error::MtdError;
 pub use learning::{attacker_learning_study, LearningOptions, LearningPoint};
 pub use selection::{spread_pre_perturbation, MtdSelection};
+pub use session::{BaselineOutcome, LearningOutcome, MtdSession, MtdSessionBuilder};
 pub use timeline::{simulate_day, HourOutcome, TimelineOptions};
 pub use tradeoff::{
     random_keyspace_study, tradeoff_sweep, RandomTrial, TradeoffCurve, TradeoffPoint,

@@ -15,9 +15,9 @@
 //!    the equivalent of the paper's fmincon/MultiStart.
 
 use gridmtd_opf::{
-    multistart, multistart_stateful, solve_opf, solve_opf_with, OpfContext, OpfError, OpfSolution,
+    multistart, multistart_stateful, solve_opf_with, OpfContext, OpfError, OpfSolution,
 };
-use gridmtd_powergrid::Network;
+use gridmtd_powergrid::{dcpf::PfContext, Network};
 use rand::Rng;
 
 use crate::{spa, MtdConfig, MtdError};
@@ -87,6 +87,23 @@ pub fn max_achievable_gamma(
 ) -> Result<(Vec<f64>, f64), MtdError> {
     let h_pre = net.measurement_matrix(x_pre)?;
     let gamma_basis = spa::GammaBasis::new(&h_pre)?;
+    max_achievable_gamma_with(net, x_pre, &gamma_basis, cfg)
+}
+
+/// [`max_achievable_gamma`] with a precomputed QR basis of `H(x_pre)` —
+/// the hoisted path for callers (the session, the tradeoff sweep) that
+/// already hold the basis. The basis is a pure function of `H(x_pre)`,
+/// so the result is bit-identical to the self-contained variant.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn max_achievable_gamma_with(
+    net: &Network,
+    x_pre: &[f64],
+    gamma_basis: &spa::GammaBasis,
+    cfg: &MtdConfig,
+) -> Result<(Vec<f64>, f64), MtdError> {
     let dfacts = net.dfacts_branches();
     let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
     let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
@@ -169,6 +186,35 @@ pub fn select_mtd_with(
     gamma_th: f64,
     cfg: &MtdConfig,
 ) -> Result<MtdSelection, MtdError> {
+    select_mtd_impl(
+        net,
+        x_pre,
+        h_pre,
+        gamma_basis,
+        gamma_th,
+        cfg,
+        &PfContext::new(),
+    )
+}
+
+/// [`select_mtd_with`] additionally seeded with a power-flow context
+/// prototype: every OPF context created inside (one per multistart
+/// start, plus the pricing and audit solves) starts from a *clone* of
+/// `pf_proto`, so a primed prototype (see
+/// [`gridmtd_powergrid::dcpf::PfContext::prime`]) shares one symbolic
+/// factorization across the whole search. Cloning an unprimed prototype
+/// is exactly a fresh context, and a primed clone's solves are pinned
+/// bit-identical to cold ones — either way the selection is bit-for-bit
+/// the historical one.
+pub(crate) fn select_mtd_impl(
+    net: &Network,
+    x_pre: &[f64],
+    h_pre: &gridmtd_linalg::Matrix,
+    gamma_basis: &spa::GammaBasis,
+    gamma_th: f64,
+    cfg: &MtdConfig,
+    pf_proto: &PfContext,
+) -> Result<MtdSelection, MtdError> {
     let dfacts = net.dfacts_branches();
     let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
     let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
@@ -178,7 +224,12 @@ pub fn select_mtd_with(
     let opf_opts = cfg.opf_options();
 
     // Cost scale for the penalty weight: the unperturbed OPF cost.
-    let base_cost = match solve_opf(net, x_pre, &opf_opts) {
+    let base_cost = match solve_opf_with(
+        net,
+        x_pre,
+        &opf_opts,
+        &mut OpfContext::with_pf(pf_proto.clone()),
+    ) {
         Ok(s) => s.cost,
         Err(OpfError::Infeasible) => return Err(MtdError::Infeasible),
         Err(e) => return Err(e.into()),
@@ -204,7 +255,7 @@ pub fn select_mtd_with(
         // by reference (`&` bindings below) and only own their context.
         let (x_nominal, dfacts, gamma_basis) = (&x_nominal, &dfacts, &gamma_basis);
         let objective_for = |_start: usize| {
-            let mut ctx = OpfContext::new();
+            let mut ctx = OpfContext::with_pf(pf_proto.clone());
             move |cand: &[f64]| {
                 let x = assemble(x_nominal, dfacts, cand);
                 let cost = match solve_opf_with(net, &x, &opf_opts, &mut ctx) {
@@ -250,7 +301,12 @@ pub fn select_mtd_with(
         let h_post = net.measurement_matrix(&x_post)?;
         let gamma = spa::gamma(h_pre, &h_post)?;
         if gamma + tol >= gamma_th {
-            let opf = solve_opf(net, &x_post, &opf_opts)?;
+            let opf = solve_opf_with(
+                net,
+                &x_post,
+                &opf_opts,
+                &mut OpfContext::with_pf(pf_proto.clone()),
+            )?;
             return Ok(MtdSelection {
                 x_post,
                 gamma,
@@ -262,7 +318,7 @@ pub fn select_mtd_with(
     }
 
     // Threshold appears unreachable; report the ceiling.
-    let (_, ceiling) = max_achievable_gamma(net, x_pre, cfg)?;
+    let (_, ceiling) = max_achievable_gamma_with(net, x_pre, gamma_basis, cfg)?;
     Err(MtdError::ThresholdUnreachable {
         requested: gamma_th,
         achieved: ceiling,
@@ -285,6 +341,17 @@ pub fn baseline_opf(
     x_start: &[f64],
     cfg: &MtdConfig,
 ) -> Result<(Vec<f64>, OpfSolution), MtdError> {
+    baseline_opf_impl(net, x_start, cfg, &PfContext::new())
+}
+
+/// [`baseline_opf`] seeded with a power-flow context prototype (see
+/// [`select_mtd_impl`] for the cloning/bit-identity contract).
+pub(crate) fn baseline_opf_impl(
+    net: &Network,
+    x_start: &[f64],
+    cfg: &MtdConfig,
+    pf_proto: &PfContext,
+) -> Result<(Vec<f64>, OpfSolution), MtdError> {
     let dfacts = net.dfacts_branches();
     let (lo_full, hi_full) = net.reactance_bounds(cfg.eta_max);
     let lo: Vec<f64> = dfacts.iter().map(|&l| lo_full[l]).collect();
@@ -294,7 +361,7 @@ pub fn baseline_opf(
     let opf_opts = cfg.opf_options();
 
     const INFEASIBLE_COST: f64 = 1e15;
-    let mut ctx = OpfContext::new();
+    let mut ctx = OpfContext::with_pf(pf_proto.clone());
     let objective = |cand: &[f64]| {
         let x = assemble(&x_nominal, &dfacts, cand);
         match solve_opf_with(net, &x, &opf_opts, &mut ctx) {
@@ -308,7 +375,12 @@ pub fn baseline_opf(
         return Err(MtdError::Infeasible);
     }
     let x = assemble(&x_nominal, &dfacts, &result.x);
-    let opf = solve_opf(net, &x, &opf_opts)?;
+    let opf = solve_opf_with(
+        net,
+        &x,
+        &opf_opts,
+        &mut OpfContext::with_pf(pf_proto.clone()),
+    )?;
     Ok((x, opf))
 }
 

@@ -1,0 +1,286 @@
+//! The typed batch layer over [`MtdSession`]: heterogeneous pipeline
+//! work expressed as data.
+//!
+//! Sweep drivers — the declarative scenario engine, the `gridmtd` CLI,
+//! a future network service — all face the same shape of workload: a
+//! list of independent pipeline invocations (one tradeoff sweep per
+//! `(seed, attack-ratio)` variant, one keyspace study per seed, a
+//! timeline, a relearning flow) that should fan out across workers and
+//! come back in order. [`Request`] / [`Response`] give that workload a
+//! type, and [`MtdSession::run_batch`] executes it through
+//! [`gridmtd_opf::parallel`] with the session's warm caches shared
+//! underneath.
+//!
+//! Per-request variant axes ([`Request::Tradeoff::seed`],
+//! [`Request::Keyspace::seed`], …) run on a *derived* session: the
+//! topology-keyed warm state and every seed-independent cache
+//! (`H(x_pre)`, basis, pre-perturbation OPF, baseline) are shared,
+//! while the seed-dependent caches start fresh — so overriding a seed
+//! can never leak one variant's ensemble into another, and the shared
+//! work is still paid once per batch.
+//!
+//! Results land in request order for any worker count, and every
+//! underlying Monte-Carlo stream is seeded from the request — batch
+//! output is a pure function of `(session inputs, requests)`, which the
+//! scenario goldens pin byte for byte.
+
+use gridmtd_opf::parallel;
+use gridmtd_traces::LoadTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::tradeoff::{RandomTrial, TradeoffCurve};
+use crate::{HourOutcome, LearningOptions, MtdError, MtdEvaluation, MtdSelection, TimelineOptions};
+
+use super::{BaselineOutcome, LearningOutcome, MtdSession};
+
+/// One typed pipeline invocation for [`MtdSession::run_batch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// The no-MTD baseline operating point (problem (1)).
+    Baseline,
+    /// One SPA-constrained selection (problem (4)).
+    Select {
+        /// Subspace-angle threshold `γ_th`, radians.
+        gamma_threshold: f64,
+    },
+    /// Score a perturbation against the session's cached ensemble.
+    Evaluate {
+        /// Full post-perturbation reactance vector.
+        x_post: Vec<f64>,
+    },
+    /// Raw per-attack detection probabilities under a perturbation.
+    DetectionProbabilities {
+        /// Full post-perturbation reactance vector.
+        x_post: Vec<f64>,
+    },
+    /// A full effectiveness-vs-cost sweep (Figs. 6 / 9).
+    Tradeoff {
+        /// γ-threshold grid, ascending.
+        gamma_thresholds: Vec<f64>,
+        /// Detection-probability levels δ to report η'(δ) at.
+        deltas: Vec<f64>,
+        /// Per-request seed override (`None` = session seed).
+        seed: Option<u64>,
+        /// Per-request attack-magnitude override.
+        attack_ratio: Option<f64>,
+    },
+    /// A random-keyspace study (Figs. 7 / 8).
+    Keyspace {
+        /// Random-perturbation fraction (prior work: 0.02).
+        fraction: f64,
+        /// Monte-Carlo trial count.
+        n_trials: usize,
+        /// δ levels to report η'(δ) at.
+        deltas: Vec<f64>,
+        /// Per-request seed override (`None` = session seed).
+        seed: Option<u64>,
+    },
+    /// A day of hourly MTD operation (Figs. 10 / 11).
+    Timeline {
+        /// Hourly total loads, MW.
+        hours: Vec<f64>,
+        /// Tuning targets and the per-hour γ grid.
+        options: TimelineOptions,
+    },
+    /// The attacker-relearning flow of Section IV-A.
+    Learning {
+        /// Optional selection threshold applied before the study
+        /// (`None` runs it in the unperturbed world).
+        gamma_threshold: Option<f64>,
+        /// Study axes.
+        options: LearningOptions,
+    },
+}
+
+/// The result of one [`Request`], in the matching variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// From [`Request::Baseline`].
+    Baseline(BaselineOutcome),
+    /// From [`Request::Select`].
+    Select(MtdSelection),
+    /// From [`Request::Evaluate`].
+    Evaluate(MtdEvaluation),
+    /// From [`Request::DetectionProbabilities`].
+    DetectionProbabilities(Vec<f64>),
+    /// From [`Request::Tradeoff`].
+    Tradeoff(TradeoffCurve),
+    /// From [`Request::Keyspace`].
+    Keyspace(Vec<RandomTrial>),
+    /// From [`Request::Timeline`].
+    Timeline(Vec<HourOutcome>),
+    /// From [`Request::Learning`].
+    Learning(LearningOutcome),
+}
+
+impl MtdSession {
+    /// Executes a batch of typed requests, fanning across the worker
+    /// threads ([`parallel::available_threads`] — the same source every
+    /// inner fan-out reads, so the builder's `threads` knob caps outer
+    /// and inner layers identically). Responses come back in request
+    /// order; each request fails independently, so one infeasible
+    /// variant does not poison the batch.
+    pub fn run_batch(&self, requests: &[Request]) -> Vec<Result<Response, MtdError>> {
+        parallel::par_map(requests, |_, request| self.run_request(request))
+    }
+
+    /// Executes one request against this session (variant overrides run
+    /// on a derived sibling session).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying pipeline failure.
+    pub fn run_request(&self, request: &Request) -> Result<Response, MtdError> {
+        match request {
+            Request::Baseline => Ok(Response::Baseline(self.baseline()?.clone())),
+            Request::Select { gamma_threshold } => {
+                Ok(Response::Select(self.select(*gamma_threshold)?))
+            }
+            Request::Evaluate { x_post } => Ok(Response::Evaluate(self.evaluate(x_post)?)),
+            Request::DetectionProbabilities { x_post } => Ok(Response::DetectionProbabilities(
+                self.detection_probabilities(x_post)?,
+            )),
+            Request::Tradeoff {
+                gamma_thresholds,
+                deltas,
+                seed,
+                attack_ratio,
+            } => {
+                let curve = if seed.is_some() || attack_ratio.is_some() {
+                    self.derive(*seed, *attack_ratio)
+                        .tradeoff_sweep(gamma_thresholds, deltas)?
+                } else {
+                    self.tradeoff_sweep(gamma_thresholds, deltas)?
+                };
+                Ok(Response::Tradeoff(curve))
+            }
+            Request::Keyspace {
+                fraction,
+                n_trials,
+                deltas,
+                seed,
+            } => {
+                let trials = if seed.is_some() {
+                    self.derive(*seed, None)
+                        .keyspace_study(*fraction, *n_trials, deltas)?
+                } else {
+                    self.keyspace_study(*fraction, *n_trials, deltas)?
+                };
+                Ok(Response::Keyspace(trials))
+            }
+            Request::Timeline { hours, options } => {
+                // The hourly loop mutates session state (the advancing
+                // attacker knowledge), so it runs on a derived sibling —
+                // the shared topology caches still do the warm work.
+                let mut day_session = self.derive(None, None);
+                let outcomes = day_session.simulate_day(&LoadTrace::new(hours.clone()), options)?;
+                Ok(Response::Timeline(outcomes))
+            }
+            Request::Learning {
+                gamma_threshold,
+                options,
+            } => Ok(Response::Learning(
+                self.learning_flow(*gamma_threshold, options)?,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MtdConfig;
+    use gridmtd_powergrid::cases;
+
+    fn tiny_session() -> MtdSession {
+        MtdSession::builder(cases::case4())
+            .config(MtdConfig {
+                n_attacks: 30,
+                n_starts: 1,
+                max_evals_per_start: 40,
+                ..MtdConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_results_land_in_request_order() {
+        let s = tiny_session();
+        let requests = vec![
+            Request::Baseline,
+            Request::Select {
+                gamma_threshold: 0.02,
+            },
+            Request::Keyspace {
+                fraction: 0.05,
+                n_trials: 3,
+                deltas: vec![0.9],
+                seed: Some(7),
+            },
+        ];
+        let responses = s.run_batch(&requests);
+        assert_eq!(responses.len(), 3);
+        assert!(matches!(responses[0], Ok(Response::Baseline(_))));
+        assert!(matches!(responses[1], Ok(Response::Select(_))));
+        match &responses[2] {
+            Ok(Response::Keyspace(trials)) => assert_eq!(trials.len(), 3),
+            other => panic!("expected Keyspace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_matches_direct_session_calls_bit_for_bit() {
+        let s = tiny_session();
+        let direct = s.select(0.02).unwrap();
+        let batched = s.run_batch(&[Request::Select {
+            gamma_threshold: 0.02,
+        }]);
+        match &batched[0] {
+            Ok(Response::Select(sel)) => assert_eq!(*sel, direct),
+            other => panic!("expected Select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_override_runs_on_a_derived_session() {
+        let s = tiny_session();
+        let responses = s.run_batch(&[
+            Request::Keyspace {
+                fraction: 0.05,
+                n_trials: 2,
+                deltas: vec![0.9],
+                seed: Some(1),
+            },
+            Request::Keyspace {
+                fraction: 0.05,
+                n_trials: 2,
+                deltas: vec![0.9],
+                seed: Some(99),
+            },
+        ]);
+        let gamma = |r: &Result<Response, MtdError>| match r {
+            Ok(Response::Keyspace(t)) => t[0].gamma,
+            other => panic!("expected Keyspace, got {other:?}"),
+        };
+        assert_ne!(gamma(&responses[0]), gamma(&responses[1]));
+        // The base session's own seed is untouched by the overrides.
+        assert_eq!(s.config().seed, 1);
+    }
+
+    #[test]
+    fn one_failing_request_does_not_poison_the_batch() {
+        let s = tiny_session();
+        let responses = s.run_batch(&[
+            Request::Select {
+                gamma_threshold: 1.5,
+            },
+            Request::Baseline,
+        ]);
+        assert!(matches!(
+            responses[0],
+            Err(MtdError::ThresholdUnreachable { .. })
+        ));
+        assert!(responses[1].is_ok());
+    }
+}

@@ -1,0 +1,1023 @@
+//! The unified MTD service layer: one stateful handle per grid.
+//!
+//! The MTD operation the paper describes — and the continuous
+//! decide–perturb–evaluate loop the MTD survey literature frames it as —
+//! runs against a *fixed grid topology*: the operator re-selects
+//! perturbations, re-scores attack ensembles and re-dispatches hour
+//! after hour while the network graph never changes. Everything
+//! expensive in that loop is therefore reusable state:
+//!
+//! * the pre-perturbation measurement matrix `H(x_pre)` and its QR
+//!   basis ([`spa::GammaBasis`]) behind every subspace-angle query;
+//! * the sparse power-flow symbolic factorization
+//!   ([`PfContext`], topology-keyed) behind every
+//!   DC-OPF and dispatch solve;
+//! * the gain-matrix symbolic factorization
+//!   ([`gridmtd_estimation::EstimatorContext`]) behind every bad-data
+//!   detector build;
+//! * the pre-perturbation OPF, the attack ensemble crafted from it, the
+//!   no-MTD baseline and the achievable-γ ceiling.
+//!
+//! Historically each of those was hoisted ad hoc through `_with`
+//! function variants that every caller had to hand-thread in the right
+//! order. [`MtdSession`] owns them all: build one from a
+//! [`Network`] + [`MtdConfig`] (validated up front), then drive the
+//! whole pipeline through methods — [`MtdSession::baseline`],
+//! [`MtdSession::select`], [`MtdSession::evaluate`],
+//! [`MtdSession::detection_probabilities`],
+//! [`MtdSession::tradeoff_sweep`], [`MtdSession::keyspace_study`],
+//! [`MtdSession::learning_study`] and the hourly
+//! [`MtdSession::begin_day`] / [`MtdSession::step_hour`] loop. The
+//! [`batch`] module adds a typed request layer on top so sweep drivers
+//! (the scenario engine, the `gridmtd` CLI, a future server) fan
+//! heterogeneous workloads through one entry point.
+//!
+//! # Determinism
+//!
+//! Every cache the session owns is either a pure function of its inputs
+//! (matrices, bases, ensembles) or pinned bit-identical to the cold path
+//! by the workspace's regression tests (primed power-flow contexts,
+//! shared symbolic factorizations). Session-routed results are therefore
+//! **byte-identical** to the historical free-function pipeline — the
+//! scenario goldens and `crates/core/tests/session_warm_state.rs` pin
+//! this.
+//!
+//! # Example
+//!
+//! ```
+//! use gridmtd_core::{MtdConfig, MtdSession};
+//! use gridmtd_powergrid::cases;
+//!
+//! # fn main() -> Result<(), gridmtd_core::MtdError> {
+//! let cfg = MtdConfig { n_attacks: 60, ..MtdConfig::fast_test() };
+//! let session = MtdSession::builder(cases::case14()).config(cfg).build()?;
+//! let sel = session.select(0.05)?;
+//! let eval = session.evaluate(&sel.x_post)?;
+//! assert!(eval.gamma >= 0.05 - 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod batch;
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use gridmtd_attack::FdiAttack;
+use gridmtd_estimation::{BadDataDetector, EstimatorContext};
+use gridmtd_linalg::Matrix;
+use gridmtd_opf::{parallel, solve_opf_with, OpfContext, OpfSolution};
+use gridmtd_powergrid::{dcpf::PfContext, Network};
+use gridmtd_traces::LoadTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::timeline::HourOutcome;
+use crate::tradeoff::{eta_grid, RandomTrial, TradeoffCurve, TradeoffPoint};
+use crate::{
+    cost, effectiveness, learning, selection, spa, LearningOptions, LearningPoint, MtdConfig,
+    MtdError, MtdEvaluation, MtdSelection, TimelineOptions,
+};
+
+/// The no-MTD operating point: problem (1)'s jointly optimized
+/// reactances and dispatch (the cost yardstick every MTD premium is
+/// measured against).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOutcome {
+    /// Cost-optimal reactance vector within the D-FACTS limits.
+    pub x: Vec<f64>,
+    /// The OPF at those reactances.
+    pub opf: OpfSolution,
+}
+
+/// Result of a select-then-study attacker-relearning flow
+/// (see [`MtdSession::learning_flow`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearningOutcome {
+    /// The γ threshold the perturbation was selected for (`None` = the
+    /// study ran in the unperturbed world).
+    pub gamma_threshold: Option<f64>,
+    /// Achieved subspace angle of the applied perturbation.
+    pub gamma_achieved: f64,
+    /// Operational cost of the perturbation, percent over the
+    /// pre-perturbation OPF.
+    pub cost_increase_percent: f64,
+    /// Attacker progress per snapshot-count checkpoint.
+    pub points: Vec<LearningPoint>,
+}
+
+/// Topology-keyed warm state: survives [`MtdSession::set_x_pre`] because
+/// the grid graph — not the reactance values — fixes it.
+#[derive(Debug, Clone, Default)]
+struct TopoCaches {
+    /// Primed power-flow context prototype; clones of it serve
+    /// numeric-only refactorizations everywhere a solver loop needs a
+    /// private context.
+    pf_proto: Arc<OnceLock<PfContext>>,
+    /// Shared gain-matrix symbolic factorization for detector builds.
+    est_ctx: Arc<Mutex<EstimatorContext>>,
+}
+
+/// Per-`x_pre` warm state, rebuilt lazily after every topology-value
+/// change. Everything a [`MtdSession::derive`]d sibling's overrides
+/// (seed, attack magnitude) cannot influence — `h_pre`, `basis`, the
+/// pre-perturbation OPF and the no-MTD baseline — is shared (`Arc`)
+/// with derived batch sessions; the seed-dependent ensemble and γ
+/// ceiling stay per-session.
+#[derive(Debug, Default)]
+struct WarmCaches {
+    h_pre: Arc<OnceLock<Matrix>>,
+    basis: Arc<OnceLock<spa::GammaBasis>>,
+    opf_pre: Arc<OnceLock<OpfSolution>>,
+    baseline: Arc<OnceLock<BaselineOutcome>>,
+    attacks: OnceLock<Vec<FdiAttack>>,
+    ceiling: OnceLock<(Vec<f64>, f64)>,
+}
+
+/// Hourly-operation state between [`MtdSession::begin_day`] and the last
+/// [`MtdSession::step_hour`].
+#[derive(Debug, Clone)]
+struct DayState {
+    trace: LoadTrace,
+    opts: TimelineOptions,
+    nominal_total: f64,
+    hour: usize,
+}
+
+/// How the builder initializes the pre-perturbation reactances.
+#[derive(Debug, Clone)]
+enum XPreInit {
+    Nominal,
+    Spread,
+    Explicit(Vec<f64>),
+}
+
+/// Builder for [`MtdSession`] (see [`MtdSession::builder`]).
+#[derive(Debug, Clone)]
+pub struct MtdSessionBuilder {
+    net: Network,
+    cfg: MtdConfig,
+    x_pre: XPreInit,
+    threads: Option<usize>,
+}
+
+impl MtdSessionBuilder {
+    /// Overrides the experiment configuration (default:
+    /// [`MtdConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, cfg: MtdConfig) -> MtdSessionBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets an explicit pre-perturbation reactance vector (the
+    /// attacker's knowledge). Default: the network's nominal
+    /// reactances.
+    #[must_use]
+    pub fn x_pre(mut self, x_pre: Vec<f64>) -> MtdSessionBuilder {
+        self.x_pre = XPreInit::Explicit(x_pre);
+        self
+    }
+
+    /// Starts from a spread D-FACTS box corner
+    /// ([`selection::spread_pre_perturbation`]) instead of the nominal
+    /// reactances, keeping the paper's full γ range reachable.
+    #[must_use]
+    pub fn spread_x_pre(mut self) -> MtdSessionBuilder {
+        self.x_pre = XPreInit::Spread;
+        self
+    }
+
+    /// Caps the worker threads for every fan-out layer — batch requests,
+    /// sweeps, multistarts, attack scoring — by applying the
+    /// **process-wide** [`parallel::set_thread_override`] knob at
+    /// [`MtdSessionBuilder::build`]. The override is the single source
+    /// of truth every layer reads, so there is no way for an outer batch
+    /// and an inner multistart to disagree; the flip side is that it is
+    /// genuinely process-global — the last builder to set it wins, it
+    /// outlives the session, and it can be cleared explicitly with
+    /// [`parallel::set_thread_override`]`(None)`. That is the right
+    /// semantics for the CLI (one run per process); a host juggling
+    /// differently-capped workloads in one process should manage the
+    /// override itself instead of using this convenience. Results are
+    /// bit-identical for any worker count; this is purely a resource
+    /// control.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> MtdSessionBuilder {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Validates the configuration and reactances and builds the
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// * [`MtdError::InvalidConfig`] for NaN / out-of-range
+    ///   configuration fields (see [`MtdConfig::validate`]);
+    /// * [`MtdError::Grid`] if an explicit `x_pre` has the wrong length
+    ///   or non-positive entries.
+    pub fn build(self) -> Result<MtdSession, MtdError> {
+        self.cfg.validate()?;
+        let x_pre = match self.x_pre {
+            XPreInit::Nominal => self.net.nominal_reactances(),
+            XPreInit::Spread => selection::spread_pre_perturbation(&self.net, self.cfg.eta_max),
+            XPreInit::Explicit(x) => {
+                self.net.check_reactances(&x)?;
+                x
+            }
+        };
+        if self.threads.is_some() {
+            parallel::set_thread_override(self.threads);
+        }
+        Ok(MtdSession {
+            net: self.net,
+            cfg: self.cfg,
+            x_pre,
+            topo: TopoCaches::default(),
+            warm: WarmCaches::default(),
+            day: None,
+        })
+    }
+}
+
+/// A stateful MTD service handle for one grid: owns every warm cache of
+/// the paper pipeline and exposes the pipeline as methods (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct MtdSession {
+    net: Network,
+    cfg: MtdConfig,
+    x_pre: Vec<f64>,
+    topo: TopoCaches,
+    warm: WarmCaches,
+    day: Option<DayState>,
+}
+
+/// `OnceLock::get_or_try_init` on stable: on a lost race the freshly
+/// computed value is dropped and the winner's is returned — harmless
+/// here because every cached value is a pure function of the session
+/// inputs.
+fn get_or_try<T>(
+    lock: &OnceLock<T>,
+    init: impl FnOnce() -> Result<T, MtdError>,
+) -> Result<&T, MtdError> {
+    if let Some(v) = lock.get() {
+        return Ok(v);
+    }
+    let v = init()?;
+    Ok(lock.get_or_init(|| v))
+}
+
+/// Builds a post-MTD detector through the shared estimator context: the
+/// symbolic state is cloned out of the mutex, the (possibly long)
+/// numeric factorization runs unlocked, and a freshly analyzed symbolic
+/// is published back unless a concurrent build already did.
+pub(crate) fn detector_via(
+    est_ctx: &Mutex<EstimatorContext>,
+    h_post: Matrix,
+    cfg: &MtdConfig,
+) -> Result<BadDataDetector, MtdError> {
+    let mut local = est_ctx.lock().expect("estimator context poisoned").clone();
+    let bdd = effectiveness::detector_from_h_ctx(h_post, cfg, &mut local)?;
+    let mut shared = est_ctx.lock().expect("estimator context poisoned");
+    if !shared.has_symbolic() {
+        *shared = local;
+    }
+    Ok(bdd)
+}
+
+impl MtdSession {
+    /// Starts building a session for `net` (nominal `x_pre`, default
+    /// configuration, machine-default threads).
+    pub fn builder(net: Network) -> MtdSessionBuilder {
+        MtdSessionBuilder {
+            net,
+            cfg: MtdConfig::default(),
+            x_pre: XPreInit::Nominal,
+            threads: None,
+        }
+    }
+
+    /// The network this session serves (at its in-effect loads).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &MtdConfig {
+        &self.cfg
+    }
+
+    /// The current pre-perturbation reactances (the attacker's
+    /// knowledge).
+    pub fn x_pre(&self) -> &[f64] {
+        &self.x_pre
+    }
+
+    /// Replaces the pre-perturbation reactances, invalidating every
+    /// `x_pre`-keyed cache (the topology-keyed symbolic factorizations
+    /// survive — the grid graph is unchanged). A no-op when `x_pre` is
+    /// already current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_pre` has the wrong length.
+    pub fn set_x_pre(&mut self, x_pre: Vec<f64>) {
+        assert_eq!(
+            x_pre.len(),
+            self.net.n_branches(),
+            "x_pre length must match the branch count"
+        );
+        if x_pre == self.x_pre {
+            return;
+        }
+        self.x_pre = x_pre;
+        self.warm = WarmCaches::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Warm caches
+    // ------------------------------------------------------------------
+
+    /// The cached pre-perturbation measurement matrix `H(x_pre)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn h_pre(&self) -> Result<&Matrix, MtdError> {
+        get_or_try(&self.warm.h_pre, || {
+            Ok(self.net.measurement_matrix(&self.x_pre)?)
+        })
+    }
+
+    /// The cached QR basis of `Col(H(x_pre))` behind every γ query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures.
+    pub fn gamma_basis(&self) -> Result<&spa::GammaBasis, MtdError> {
+        get_or_try(&self.warm.basis, || spa::GammaBasis::new(self.h_pre()?))
+    }
+
+    /// The primed power-flow context prototype; solver loops clone it so
+    /// the sparse symbolic factorization runs once per topology.
+    fn pf_proto(&self) -> Result<&PfContext, MtdError> {
+        get_or_try(&self.topo.pf_proto, || {
+            let mut pf = PfContext::new();
+            pf.prime(&self.net, &self.x_pre)?;
+            Ok(pf)
+        })
+    }
+
+    /// The cached pre-perturbation OPF at `x_pre` (the operating point
+    /// the attacker eavesdropped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPF failures.
+    pub fn opf_pre(&self) -> Result<&OpfSolution, MtdError> {
+        get_or_try(&self.warm.opf_pre, || {
+            Ok(solve_opf_with(
+                &self.net,
+                &self.x_pre,
+                &self.cfg.opf_options(),
+                &mut OpfContext::with_pf(self.pf_proto()?.clone()),
+            )?)
+        })
+    }
+
+    /// The cached attack ensemble: stealthy FDI attacks crafted against
+    /// `H(x_pre)`, scaled by the eavesdropped measurements at the
+    /// pre-perturbation operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn attacks(&self) -> Result<&[FdiAttack], MtdError> {
+        get_or_try(&self.warm.attacks, || {
+            let dispatch = self.opf_pre()?.dispatch.clone();
+            effectiveness::build_attack_set_impl(
+                &self.net,
+                self.h_pre()?,
+                &self.x_pre,
+                &dispatch,
+                &self.cfg,
+                self.pf_proto()?,
+            )
+        })
+        .map(Vec::as_slice)
+    }
+
+    /// The cached no-MTD baseline (problem (1): cost-optimal reactances
+    /// and dispatch within the D-FACTS limits, warm-started from
+    /// `x_pre`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPF failures.
+    pub fn baseline(&self) -> Result<&BaselineOutcome, MtdError> {
+        get_or_try(&self.warm.baseline, || {
+            let (x, opf) =
+                selection::baseline_opf_impl(&self.net, &self.x_pre, &self.cfg, self.pf_proto()?)?;
+            Ok(BaselineOutcome { x, opf })
+        })
+    }
+
+    /// The cached achievable-γ ceiling within the D-FACTS limits:
+    /// the maximizing reactance vector and its angle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures.
+    pub fn max_gamma(&self) -> Result<&(Vec<f64>, f64), MtdError> {
+        get_or_try(&self.warm.ceiling, || {
+            selection::max_achievable_gamma_with(
+                &self.net,
+                &self.x_pre,
+                self.gamma_basis()?,
+                &self.cfg,
+            )
+        })
+    }
+
+    /// Builds the post-MTD bad-data detector for `h_post` through the
+    /// session's shared gain-symbolic cache.
+    fn detector(&self, h_post: Matrix) -> Result<BadDataDetector, MtdError> {
+        detector_via(&self.topo.est_ctx, h_post, &self.cfg)
+    }
+
+    // ------------------------------------------------------------------
+    // The paper pipeline
+    // ------------------------------------------------------------------
+
+    /// Solves a DC-OPF at an arbitrary reactance vector through the
+    /// session's warm power-flow state (fresh simplex, so the result is
+    /// bit-identical to a cold [`gridmtd_opf::solve_opf`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`gridmtd_opf::solve_opf`].
+    pub fn solve_opf(&self, x: &[f64]) -> Result<OpfSolution, MtdError> {
+        Ok(solve_opf_with(
+            &self.net,
+            x,
+            &self.cfg.opf_options(),
+            &mut OpfContext::with_pf(self.pf_proto()?.clone()),
+        )?)
+    }
+
+    /// Solves the SPA-constrained OPF of problem (4) for one threshold,
+    /// through the cached `H(x_pre)`, its QR basis and the shared
+    /// power-flow symbolic state.
+    ///
+    /// # Errors
+    ///
+    /// See [`selection::select_mtd`].
+    pub fn select(&self, gamma_threshold: f64) -> Result<MtdSelection, MtdError> {
+        selection::select_mtd_impl(
+            &self.net,
+            &self.x_pre,
+            self.h_pre()?,
+            self.gamma_basis()?,
+            gamma_threshold,
+            &self.cfg,
+            self.pf_proto()?,
+        )
+    }
+
+    /// Scores a perturbation `x_pre → x_post` against the session's
+    /// cached attack ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn evaluate(&self, x_post: &[f64]) -> Result<MtdEvaluation, MtdError> {
+        let attacks = self.attacks()?;
+        self.evaluate_against(&self.net, x_post, attacks)
+    }
+
+    /// [`MtdSession::evaluate`] against an explicit ensemble and network
+    /// (the hourly loop passes the hour's rescaled network; `H` depends
+    /// only on topology and reactances, so the angles are unaffected).
+    fn evaluate_against(
+        &self,
+        net: &Network,
+        x_post: &[f64],
+        attacks: &[FdiAttack],
+    ) -> Result<MtdEvaluation, MtdError> {
+        let h_post = net.measurement_matrix(x_post)?;
+        let gamma = self.gamma_basis()?.gamma_to(&h_post)?;
+        let smallest_angle = spa::smallest_angle(self.h_pre()?, &h_post)?;
+        let bdd = self.detector(h_post)?;
+        let detection_probs = effectiveness::detection_probabilities_parallel(&bdd, attacks)?;
+        Ok(MtdEvaluation {
+            gamma,
+            smallest_angle,
+            detection_probs,
+        })
+    }
+
+    /// Per-attack post-MTD detection probabilities of the cached
+    /// ensemble under a candidate `x_post` (the raw series behind
+    /// `η'(δ)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn detection_probabilities(&self, x_post: &[f64]) -> Result<Vec<f64>, MtdError> {
+        let attacks = self.attacks()?;
+        let bdd = self.detector(self.net.measurement_matrix(x_post)?)?;
+        effectiveness::detection_probabilities_parallel(&bdd, attacks)
+    }
+
+    /// Sweeps the effectiveness-vs-cost tradeoff curve (Figs. 6 and 9)
+    /// over a γ-threshold grid, reusing the cached ensemble so points
+    /// are directly comparable. Thresholds above the achievable ceiling
+    /// are skipped, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection/OPF failures.
+    pub fn tradeoff_sweep(
+        &self,
+        gamma_thresholds: &[f64],
+        deltas: &[f64],
+    ) -> Result<TradeoffCurve, MtdError> {
+        // Cache-fill order mirrors the historical free function: the
+        // pre-perturbation OPF prices the ensemble, then ceiling, then
+        // baseline.
+        self.opf_pre()?;
+        let attacks = self.attacks()?;
+        let &(_, gamma_ceiling) = self.max_gamma()?;
+        let baseline = self.baseline()?;
+
+        // Every threshold's selection + scoring is independent given the
+        // shared ensemble, so the sweep fans across worker threads;
+        // results come back in grid order, making the curve identical to
+        // a serial sweep.
+        let in_range: Vec<f64> = gamma_thresholds
+            .iter()
+            .copied()
+            .filter(|&g| g <= gamma_ceiling + 1e-3)
+            .collect();
+        let swept: Vec<Result<Option<TradeoffPoint>, MtdError>> =
+            parallel::par_map(&in_range, |_, &gamma_th| {
+                let sel = match self.select(gamma_th) {
+                    Ok(s) => s,
+                    Err(MtdError::ThresholdUnreachable { .. }) => return Ok(None),
+                    Err(e) => return Err(e),
+                };
+                let eval = self.evaluate_against(&self.net, &sel.x_post, attacks)?;
+                Ok(Some(TradeoffPoint {
+                    gamma_threshold: gamma_th,
+                    gamma_achieved: sel.gamma,
+                    cost_increase_percent: cost::cost_increase_percent(
+                        baseline.opf.cost,
+                        sel.opf.cost,
+                    ),
+                    effectiveness: eta_grid(&eval, deltas),
+                }))
+            });
+        let mut points = Vec::with_capacity(in_range.len());
+        for swept_point in swept {
+            if let Some(p) = swept_point? {
+                points.push(p);
+            }
+        }
+        Ok(TradeoffCurve {
+            points,
+            gamma_ceiling,
+            baseline_cost: baseline.opf.cost,
+        })
+    }
+
+    /// Scores `n_trials` random baseline perturbations (the keyspace of
+    /// prior work, Figs. 7–8) against the session's cached ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures.
+    pub fn keyspace_study(
+        &self,
+        fraction: f64,
+        n_trials: usize,
+        deltas: &[f64],
+    ) -> Result<Vec<RandomTrial>, MtdError> {
+        let attacks = self.attacks()?;
+        self.keyspace_study_with_attacks(attacks, fraction, n_trials, deltas)
+    }
+
+    /// [`MtdSession::keyspace_study`] against an explicit ensemble
+    /// (trial `t` draws its perturbation from a stream seeded
+    /// `(seed + 0xfeed) ⊕ t`, so the study is a pure function of its
+    /// arguments for any worker count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures.
+    pub fn keyspace_study_with_attacks(
+        &self,
+        attacks: &[FdiAttack],
+        fraction: f64,
+        n_trials: usize,
+        deltas: &[f64],
+    ) -> Result<Vec<RandomTrial>, MtdError> {
+        let base = self.cfg.seed.wrapping_add(0xfeed);
+        let h_pre = self.h_pre()?;
+        let basis = self.gamma_basis()?;
+        let trial_ids: Vec<u64> = (0..n_trials as u64).collect();
+        parallel::par_map(&trial_ids, |_, &t| {
+            let mut rng = StdRng::seed_from_u64(base ^ t);
+            let x_post = selection::random_perturbation(&self.net, &self.x_pre, fraction, &mut rng);
+            let h_post = self.net.measurement_matrix(&x_post)?;
+            let gamma = basis.gamma_to(&h_post)?;
+            let smallest_angle = spa::smallest_angle(h_pre, &h_post)?;
+            // Angles first so `h_post` can move into the detector
+            // unclone'd.
+            let bdd = self.detector(h_post)?;
+            let probs = gridmtd_attack::detection_probabilities(&bdd, attacks)?;
+            let eval = MtdEvaluation {
+                gamma,
+                smallest_angle,
+                detection_probs: probs,
+            };
+            Ok(RandomTrial {
+                trial: t as usize,
+                gamma: eval.gamma,
+                effectiveness: eta_grid(&eval, deltas),
+            })
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs the attacker-relearning study of Section IV-A in the
+    /// post-perturbation world `x_post`, through the session's warm
+    /// power-flow and detector state.
+    ///
+    /// # Errors
+    ///
+    /// See [`learning::attacker_learning_study`].
+    ///
+    /// # Panics
+    ///
+    /// See [`learning::attacker_learning_study`].
+    pub fn learning_study(
+        &self,
+        x_post: &[f64],
+        opts: &LearningOptions,
+    ) -> Result<Vec<LearningPoint>, MtdError> {
+        learning::attacker_learning_study_impl(
+            &self.net,
+            x_post,
+            opts,
+            &self.cfg,
+            self.pf_proto()?,
+            &self.topo.est_ctx,
+        )
+    }
+
+    /// The full relearning flow: optionally select a perturbation for
+    /// `gamma_threshold` (pricing it against the pre-perturbation OPF),
+    /// then run the study in the resulting world.
+    ///
+    /// # Errors
+    ///
+    /// Propagates selection and study failures.
+    ///
+    /// # Panics
+    ///
+    /// See [`learning::attacker_learning_study`].
+    pub fn learning_flow(
+        &self,
+        gamma_threshold: Option<f64>,
+        opts: &LearningOptions,
+    ) -> Result<LearningOutcome, MtdError> {
+        let (x_post, gamma_achieved, cost_increase_percent) = match gamma_threshold {
+            Some(g) => {
+                let baseline_cost = self.opf_pre()?.cost;
+                let sel = self.select(g)?;
+                let increase = cost::cost_increase_percent(baseline_cost, sel.opf.cost);
+                (sel.x_post, sel.gamma, increase)
+            }
+            None => (self.x_pre.clone(), 0.0, 0.0),
+        };
+        let points = self.learning_study(&x_post, opts)?;
+        Ok(LearningOutcome {
+            gamma_threshold,
+            gamma_achieved,
+            cost_increase_percent,
+            points,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Hourly operation (Figs. 10–11)
+    // ------------------------------------------------------------------
+
+    /// Starts a day of hourly MTD operation over `trace`: initializes
+    /// the attacker's knowledge from the hour preceding the trace start
+    /// (a spread D-FACTS point re-dispatched at the last trace hour) and
+    /// arms [`MtdSession::step_hour`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPF failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn begin_day(&mut self, trace: &LoadTrace, opts: &TimelineOptions) -> Result<(), MtdError> {
+        assert!(!trace.is_empty(), "timeline trace must be non-empty");
+        let nominal_total = self.net.total_load();
+        let n_hours = trace.len();
+        let mut x_prev = selection::spread_pre_perturbation(&self.net, self.cfg.eta_max);
+        {
+            let net_prev = self
+                .net
+                .scale_loads(trace.scaling_factor(n_hours - 1, nominal_total));
+            let (x, _) =
+                selection::baseline_opf_impl(&net_prev, &x_prev, &self.cfg, self.pf_proto()?)?;
+            x_prev = x;
+        }
+        self.set_x_pre(x_prev);
+        self.day = Some(DayState {
+            trace: trace.clone(),
+            opts: opts.clone(),
+            nominal_total,
+            hour: 0,
+        });
+        Ok(())
+    }
+
+    /// Hours of the armed day not yet simulated (0 when no day is in
+    /// progress).
+    pub fn hours_remaining(&self) -> usize {
+        self.day
+            .as_ref()
+            .map_or(0, |d| d.trace.len().saturating_sub(d.hour))
+    }
+
+    /// Simulates the next hour of MTD operation: re-dispatch for the
+    /// hour's load, craft the attack ensemble against the one-hour-stale
+    /// knowledge, auto-tune the smallest `γ_th` meeting the
+    /// effectiveness target, and advance the attacker's knowledge to
+    /// this hour's no-MTD reactances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPF/selection failures, and [`MtdError::Infeasible`]
+    /// if even the smallest grid threshold is unreachable. Hours where
+    /// the largest reachable `γ_th` misses the effectiveness target are
+    /// reported with `target_met = false` rather than failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a day in progress ([`MtdSession::begin_day`]).
+    pub fn step_hour(&mut self) -> Result<HourOutcome, MtdError> {
+        let day = self
+            .day
+            .clone()
+            .expect("step_hour requires begin_day first");
+        let hour = day.hour;
+        assert!(
+            hour < day.trace.len(),
+            "the armed day is complete ({} hours)",
+            day.trace.len()
+        );
+        let net_now = self
+            .net
+            .scale_loads(day.trace.scaling_factor(hour, day.nominal_total));
+
+        // 1. No-MTD OPF for this hour (warm start from previous hour).
+        let (x_now, opf_now) =
+            selection::baseline_opf_impl(&net_now, &self.x_pre, &self.cfg, self.pf_proto()?)?;
+
+        let outcome = {
+            // 2. Attacker's knowledge: last hour's matrix — exactly the
+            // session's cached `H(x_pre)`/basis, built once per hour and
+            // shared by the ensemble, every γ-grid candidate's selection
+            // and the effectiveness evaluations.
+            let h_stale = self.h_pre()?;
+            let stale_basis = self.gamma_basis()?;
+            let h_now = self.net.measurement_matrix(&x_now)?;
+
+            // Attack ensemble against the stale matrix, scaled by the
+            // stale operating point (what the attacker eavesdropped).
+            let opf_prev_dispatch = {
+                let prev_hour = if hour == 0 {
+                    day.trace.len() - 1
+                } else {
+                    hour - 1
+                };
+                let net_prev = self
+                    .net
+                    .scale_loads(day.trace.scaling_factor(prev_hour, day.nominal_total));
+                solve_opf_with(
+                    &net_prev,
+                    &self.x_pre,
+                    &self.cfg.opf_options(),
+                    &mut OpfContext::with_pf(self.pf_proto()?.clone()),
+                )?
+                .dispatch
+            };
+            let attacks = effectiveness::build_attack_set_impl(
+                &net_now,
+                h_stale,
+                &self.x_pre,
+                &opf_prev_dispatch,
+                &self.cfg,
+                self.pf_proto()?,
+            )?;
+
+            // 3. Tune γ_th on the grid. Candidates are evaluated
+            // speculatively in worker-sized chunks and the serial
+            // early-exit rule is replayed over the ordered results, so
+            // the outcome (including which errors can surface) is
+            // exactly the serial tuner's.
+            let lookahead = parallel::available_threads().max(1);
+            let mut chosen: Option<(f64, MtdSelection, f64)> = None;
+            'grid: for candidates in day.opts.gamma_grid.chunks(lookahead) {
+                let evaluations: Vec<Result<(MtdSelection, f64), MtdError>> =
+                    parallel::par_map(candidates, |_, &gamma_th| {
+                        let sel = selection::select_mtd_impl(
+                            &net_now,
+                            &self.x_pre,
+                            h_stale,
+                            stale_basis,
+                            gamma_th,
+                            &self.cfg,
+                            self.pf_proto()?,
+                        )?;
+                        let eval = self.evaluate_against(&net_now, &sel.x_post, &attacks)?;
+                        let eta = eval.effectiveness(day.opts.target_delta);
+                        Ok((sel, eta))
+                    });
+                for (&gamma_th, evaluation) in candidates.iter().zip(evaluations) {
+                    match evaluation {
+                        Ok((sel, eta)) => {
+                            let met = eta >= day.opts.target_eta;
+                            chosen = Some((gamma_th, sel, eta));
+                            if met {
+                                break 'grid;
+                            }
+                        }
+                        Err(MtdError::ThresholdUnreachable { .. }) => break 'grid,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            let (gamma_threshold, sel, eta) = chosen.ok_or(MtdError::Infeasible)?;
+
+            let h_post = self.net.measurement_matrix(&sel.x_post)?;
+            HourOutcome {
+                hour,
+                total_load_mw: net_now.total_load(),
+                cost_no_mtd: opf_now.cost,
+                cost_with_mtd: sel.opf.cost,
+                cost_increase_percent: cost::cost_increase_percent(opf_now.cost, sel.opf.cost),
+                gamma_drift: stale_basis.gamma_to(&h_now)?,
+                gamma_defense: stale_basis.gamma_to(&h_post)?,
+                gamma_current: spa::gamma(&h_now, &h_post)?,
+                gamma_threshold,
+                effectiveness: eta,
+                target_met: eta >= day.opts.target_eta,
+            }
+        };
+
+        // 4. Advance the attacker's knowledge to this hour's no-MTD
+        // reactances (invalidates the `x_pre`-keyed caches; the
+        // topology-keyed symbolic state survives).
+        self.set_x_pre(x_now);
+        if let Some(d) = self.day.as_mut() {
+            d.hour += 1;
+            if d.hour >= d.trace.len() {
+                self.day = None;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Runs a whole armed-and-stepped day in one call (see
+    /// [`crate::simulate_day`] for the free-function form).
+    ///
+    /// # Errors
+    ///
+    /// See [`MtdSession::step_hour`].
+    pub fn simulate_day(
+        &mut self,
+        trace: &LoadTrace,
+        opts: &TimelineOptions,
+    ) -> Result<Vec<HourOutcome>, MtdError> {
+        self.begin_day(trace, opts)?;
+        let mut outcomes = Vec::with_capacity(trace.len());
+        while self.hours_remaining() > 0 {
+            outcomes.push(self.step_hour()?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Derives a sibling session for a per-request configuration
+    /// override: the topology-keyed warm state and every cache the
+    /// overridable knobs (seed, attack magnitude) cannot influence —
+    /// `H(x_pre)`, its basis, the pre-perturbation OPF, the no-MTD
+    /// baseline — are shared, while the seed-dependent caches
+    /// (ensemble, ceiling) start empty — exactly what a batch variant
+    /// axis needs.
+    pub(crate) fn derive(&self, seed: Option<u64>, attack_ratio: Option<f64>) -> MtdSession {
+        let mut cfg = self.cfg.clone();
+        if let Some(s) = seed {
+            cfg.seed = s;
+        }
+        if let Some(r) = attack_ratio {
+            cfg.attack_ratio = r;
+        }
+        MtdSession {
+            net: self.net.clone(),
+            cfg,
+            x_pre: self.x_pre.clone(),
+            topo: self.topo.clone(),
+            warm: WarmCaches {
+                h_pre: Arc::clone(&self.warm.h_pre),
+                basis: Arc::clone(&self.warm.basis),
+                opf_pre: Arc::clone(&self.warm.opf_pre),
+                baseline: Arc::clone(&self.warm.baseline),
+                ..WarmCaches::default()
+            },
+            day: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_powergrid::cases;
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let bad = MtdConfig {
+            eta_max: f64::NAN,
+            ..MtdConfig::fast_test()
+        };
+        let err = MtdSession::builder(cases::case4())
+            .config(bad)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MtdError::InvalidConfig {
+                field: "eta_max",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_length_x_pre() {
+        let err = MtdSession::builder(cases::case4())
+            .config(MtdConfig::fast_test())
+            .x_pre(vec![0.1; 3])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MtdError::Grid(_)));
+    }
+
+    #[test]
+    fn set_x_pre_invalidates_x_keyed_caches_only() {
+        let net = cases::case4();
+        let mut s = MtdSession::builder(net.clone())
+            .config(MtdConfig::fast_test())
+            .build()
+            .unwrap();
+        let h_a = s.h_pre().unwrap().clone();
+        let mut x = net.nominal_reactances();
+        for l in net.dfacts_branches() {
+            x[l] *= 1.2;
+        }
+        s.set_x_pre(x);
+        let h_b = s.h_pre().unwrap().clone();
+        assert_ne!(h_a, h_b, "new x_pre must rebuild H");
+        // Setting the same value back-to-back is a cache-preserving
+        // no-op: the cached matrix keeps its address.
+        let addr_before = s.h_pre().unwrap() as *const Matrix;
+        let x_now = s.x_pre().to_vec();
+        s.set_x_pre(x_now);
+        assert_eq!(s.h_pre().unwrap() as *const Matrix, addr_before);
+    }
+
+    #[test]
+    fn spread_builder_matches_free_function() {
+        let net = cases::case14();
+        let cfg = MtdConfig::fast_test();
+        let s = MtdSession::builder(net.clone())
+            .config(cfg.clone())
+            .spread_x_pre()
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.x_pre(),
+            selection::spread_pre_perturbation(&net, cfg.eta_max).as_slice()
+        );
+    }
+}

@@ -22,9 +22,25 @@
 //! metric [`gamma`], and keeps [`smallest_angle`] / [`angles`] available
 //! for analysis. `EXPERIMENTS.md` revisits this discrepancy.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use gridmtd_linalg::{subspace, Matrix};
 
 use crate::MtdError;
+
+/// Process-wide count of [`GammaBasis`] constructions (each one is a QR
+/// factorization of the full pre-perturbation measurement matrix).
+/// Warm paths — [`crate::MtdSession`] above all — cache the basis per
+/// `x_pre` and must not rebuild it across repeated selections and
+/// evaluations; the regression guards pin that with this counter, in
+/// the same style as `gridmtd_powergrid::stats`.
+static GAMMA_BASIS_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`GammaBasis`] constructions so far (monotone, relaxed
+/// atomics; diagnostics only).
+pub fn gamma_basis_builds() -> u64 {
+    GAMMA_BASIS_BUILDS.load(Ordering::Relaxed)
+}
 
 /// A precomputed orthonormal basis of `Col(H_pre)` for repeated
 /// `γ(H_pre, ·)` queries.
@@ -45,6 +61,7 @@ impl GammaBasis {
     ///
     /// Propagates numerical failures.
     pub fn new(h_pre: &Matrix) -> Result<GammaBasis, MtdError> {
+        GAMMA_BASIS_BUILDS.fetch_add(1, Ordering::Relaxed);
         Ok(GammaBasis {
             basis: subspace::OrthonormalBasis::new(h_pre)?,
         })

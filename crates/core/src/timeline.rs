@@ -16,7 +16,7 @@ use gridmtd_powergrid::Network;
 use gridmtd_traces::LoadTrace;
 use serde::{Deserialize, Serialize};
 
-use crate::{cost, effectiveness, selection, spa, MtdConfig, MtdError};
+use crate::{MtdConfig, MtdError, MtdSession};
 
 /// Outcome of one simulated hour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,119 +87,14 @@ pub fn simulate_day(
     opts: &TimelineOptions,
     cfg: &MtdConfig,
 ) -> Result<Vec<HourOutcome>, MtdError> {
-    let nominal_total = net.total_load();
-    let n_hours = trace.len();
-    let mut outcomes = Vec::with_capacity(n_hours);
-
-    // The hour preceding the trace start initializes the attacker
-    // knowledge. Like the static experiments, the D-FACTS settings start
-    // from a spread box point (any point of the box solves the cost-flat
-    // OPF (1)), which keeps the paper's full γ range reachable.
-    let mut x_prev = selection::spread_pre_perturbation(net, cfg.eta_max);
-    {
-        let net_prev = net.scale_loads(trace.scaling_factor(n_hours - 1, nominal_total));
-        let (x, _) = selection::baseline_opf(&net_prev, &x_prev, cfg)?;
-        x_prev = x;
-    }
-
-    for hour in 0..n_hours {
-        let net_now = net.scale_loads(trace.scaling_factor(hour, nominal_total));
-
-        // 1. No-MTD OPF for this hour (warm start from previous hour).
-        let (x_now, opf_now) = selection::baseline_opf(&net_now, &x_prev, cfg)?;
-
-        // 2. Attacker's knowledge: last hour's matrix. The measurement
-        // matrix depends only on the topology and reactances — never on
-        // loads — so `h_stale` (and its QR basis below) is built once
-        // per hour and shared by the attack ensemble, every γ-grid
-        // candidate's selection run and the effectiveness evaluations,
-        // instead of being rebuilt inside each of them.
-        let h_stale = net.measurement_matrix(&x_prev)?;
-        let h_now = net.measurement_matrix(&x_now)?;
-        let stale_basis = spa::GammaBasis::new(&h_stale)?;
-
-        // Attack ensemble against the stale matrix, scaled by the stale
-        // operating point (what the attacker eavesdropped).
-        let opf_prev_dispatch = {
-            let prev_hour = if hour == 0 { n_hours - 1 } else { hour - 1 };
-            let net_prev = net.scale_loads(trace.scaling_factor(prev_hour, nominal_total));
-            gridmtd_opf::solve_opf(&net_prev, &x_prev, &cfg.opf_options())?.dispatch
-        };
-        let attacks = effectiveness::build_attack_set_with_h(
-            &net_now,
-            &h_stale,
-            &x_prev,
-            &opf_prev_dispatch,
-            cfg,
-        )?;
-
-        // 3. Tune γ_th on the grid. Candidates are evaluated
-        // speculatively in worker-sized chunks and the serial early-exit
-        // rule is replayed over the ordered results: take the first
-        // candidate meeting the target, else the last reachable one
-        // before an unreachable threshold — so the outcome (including
-        // which errors can surface) is exactly the serial tuner's. The
-        // bounded lookahead keeps the speculation free: with one worker
-        // the chunks have length 1 and the loop *is* the serial tuner;
-        // with more workers the extra evaluations ride on otherwise idle
-        // cores.
-        let lookahead = gridmtd_opf::parallel::available_threads().max(1);
-        let mut chosen: Option<(f64, selection::MtdSelection, f64)> = None;
-        'grid: for candidates in opts.gamma_grid.chunks(lookahead) {
-            let evaluations: Vec<Result<(selection::MtdSelection, f64), MtdError>> =
-                gridmtd_opf::parallel::par_map(candidates, |_, &gamma_th| {
-                    let sel = selection::select_mtd_with(
-                        &net_now,
-                        &x_prev,
-                        &h_stale,
-                        &stale_basis,
-                        gamma_th,
-                        cfg,
-                    )?;
-                    let eval = effectiveness::evaluate_with_attacks_h(
-                        &net_now,
-                        &h_stale,
-                        &sel.x_post,
-                        &attacks,
-                        cfg,
-                    )?;
-                    let eta = eval.effectiveness(opts.target_delta);
-                    Ok((sel, eta))
-                });
-            for (&gamma_th, evaluation) in candidates.iter().zip(evaluations) {
-                match evaluation {
-                    Ok((sel, eta)) => {
-                        let met = eta >= opts.target_eta;
-                        chosen = Some((gamma_th, sel, eta));
-                        if met {
-                            break 'grid;
-                        }
-                    }
-                    Err(MtdError::ThresholdUnreachable { .. }) => break 'grid,
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-        let (gamma_threshold, sel, eta) = chosen.ok_or(MtdError::Infeasible)?;
-
-        let h_post = net.measurement_matrix(&sel.x_post)?;
-        outcomes.push(HourOutcome {
-            hour,
-            total_load_mw: net_now.total_load(),
-            cost_no_mtd: opf_now.cost,
-            cost_with_mtd: sel.opf.cost,
-            cost_increase_percent: cost::cost_increase_percent(opf_now.cost, sel.opf.cost),
-            gamma_drift: spa::gamma(&h_stale, &h_now)?,
-            gamma_defense: spa::gamma(&h_stale, &h_post)?,
-            gamma_current: spa::gamma(&h_now, &h_post)?,
-            gamma_threshold,
-            effectiveness: eta,
-            target_met: eta >= opts.target_eta,
-        });
-
-        x_prev = x_now;
-    }
-    Ok(outcomes)
+    // The hourly loop lives on the session ([`MtdSession::begin_day`] /
+    // [`MtdSession::step_hour`]), which owns the per-hour stale-matrix
+    // state this function used to rebuild by hand. Bit-identical to the
+    // historical in-place loop.
+    MtdSession::builder(net.clone())
+        .config(cfg.clone())
+        .build()?
+        .simulate_day(trace, opts)
 }
 
 #[cfg(test)]

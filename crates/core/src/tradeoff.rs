@@ -5,12 +5,32 @@
 //! ensemble, and record the operational-cost increase. Different `γ_th`
 //! values trace out the spectrum between "free but ineffective" and
 //! "effective but costly" (Section VI).
+//!
+//! The sweep logic lives on [`MtdSession`] (which owns the warm caches
+//! it runs on); the free functions here are compatibility wrappers that
+//! build a throwaway session, bit-identical to the historical
+//! implementations.
 
 use gridmtd_attack::FdiAttack;
 use gridmtd_powergrid::Network;
 use serde::{Deserialize, Serialize};
 
-use crate::{cost, effectiveness, selection, spa, MtdConfig, MtdError};
+use crate::{MtdConfig, MtdError, MtdEvaluation, MtdSession};
+
+/// Looks up `η'(δ)` in a swept `(δ, η'(δ))` grid — the one shared
+/// implementation behind [`TradeoffPoint::eta`] and
+/// [`RandomTrial::eta`].
+fn eta_lookup(effectiveness: &[(f64, f64)], delta: f64) -> Option<f64> {
+    effectiveness
+        .iter()
+        .find(|(d, _)| (d - delta).abs() < 1e-12)
+        .map(|&(_, e)| e)
+}
+
+/// Materializes the `(δ, η'(δ))` grid of an evaluation for a δ axis.
+pub(crate) fn eta_grid(eval: &MtdEvaluation, deltas: &[f64]) -> Vec<(f64, f64)> {
+    deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect()
+}
 
 /// One point of the tradeoff curve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,10 +48,7 @@ pub struct TradeoffPoint {
 impl TradeoffPoint {
     /// Looks up `η'(δ)` for one of the swept δ values.
     pub fn eta(&self, delta: f64) -> Option<f64> {
-        self.effectiveness
-            .iter()
-            .find(|(d, _)| (d - delta).abs() < 1e-12)
-            .map(|&(_, e)| e)
+        eta_lookup(&self.effectiveness, delta)
     }
 }
 
@@ -64,51 +81,11 @@ pub fn tradeoff_sweep(
     deltas: &[f64],
     cfg: &MtdConfig,
 ) -> Result<TradeoffCurve, MtdError> {
-    let opf_pre = gridmtd_opf::solve_opf(net, x_pre, &cfg.opf_options())?;
-    let attacks = effectiveness::build_attack_set(net, x_pre, &opf_pre.dispatch, cfg)?;
-    let (_, gamma_ceiling) = selection::max_achievable_gamma(net, x_pre, cfg)?;
-    // Baseline: the cost the operator would pay at this hour without MTD
-    // (problem (1), reactances free within D-FACTS limits).
-    let (_, baseline) = selection::baseline_opf(net, x_pre, cfg)?;
-
-    // Every threshold's selection + scoring is independent given the
-    // shared ensemble, so the sweep fans across worker threads; results
-    // come back in grid order, making the curve identical to a serial
-    // sweep.
-    let in_range: Vec<f64> = gamma_thresholds
-        .iter()
-        .copied()
-        .filter(|&g| g <= gamma_ceiling + 1e-3)
-        .collect();
-    let swept: Vec<Result<Option<TradeoffPoint>, MtdError>> =
-        gridmtd_opf::parallel::par_map(&in_range, |_, &gamma_th| {
-            let sel = match selection::select_mtd(net, x_pre, gamma_th, cfg) {
-                Ok(s) => s,
-                Err(MtdError::ThresholdUnreachable { .. }) => return Ok(None),
-                Err(e) => return Err(e),
-            };
-            let eval =
-                effectiveness::evaluate_with_attacks(net, x_pre, &sel.x_post, &attacks, cfg)?;
-            let effectiveness_grid: Vec<(f64, f64)> =
-                deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
-            Ok(Some(TradeoffPoint {
-                gamma_threshold: gamma_th,
-                gamma_achieved: sel.gamma,
-                cost_increase_percent: cost::cost_increase_percent(baseline.cost, sel.opf.cost),
-                effectiveness: effectiveness_grid,
-            }))
-        });
-    let mut points = Vec::with_capacity(in_range.len());
-    for swept_point in swept {
-        if let Some(p) = swept_point? {
-            points.push(p);
-        }
-    }
-    Ok(TradeoffCurve {
-        points,
-        gamma_ceiling,
-        baseline_cost: baseline.cost,
-    })
+    MtdSession::builder(net.clone())
+        .config(cfg.clone())
+        .x_pre(x_pre.to_vec())
+        .build()?
+        .tradeoff_sweep(gamma_thresholds, deltas)
 }
 
 /// Scores `n_trials` random baseline perturbations (the keyspace of
@@ -132,34 +109,11 @@ pub fn random_keyspace_study(
     deltas: &[f64],
     cfg: &MtdConfig,
 ) -> Result<Vec<RandomTrial>, MtdError> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let base = cfg.seed.wrapping_add(0xfeed);
-    let h_pre = net.measurement_matrix(x_pre)?;
-    let trial_ids: Vec<u64> = (0..n_trials as u64).collect();
-    gridmtd_opf::parallel::par_map(&trial_ids, |_, &t| {
-        let mut rng = StdRng::seed_from_u64(base ^ t);
-        let x_post = selection::random_perturbation(net, x_pre, fraction, &mut rng);
-        let h_post = net.measurement_matrix(&x_post)?;
-        let gamma = spa::gamma(&h_pre, &h_post)?;
-        let smallest_angle = spa::smallest_angle(&h_pre, &h_post)?;
-        // Angles first so `h_post` can move into the detector unclone'd.
-        let bdd = effectiveness::detector_from_h(h_post, cfg)?;
-        let probs = gridmtd_attack::detection_probabilities(&bdd, attacks)?;
-        let eval = effectiveness::MtdEvaluation {
-            gamma,
-            smallest_angle,
-            detection_probs: probs,
-        };
-        let eta: Vec<(f64, f64)> = deltas.iter().map(|&d| (d, eval.effectiveness(d))).collect();
-        Ok(RandomTrial {
-            trial: t as usize,
-            gamma: eval.gamma,
-            effectiveness: eta,
-        })
-    })
-    .into_iter()
-    .collect()
+    MtdSession::builder(net.clone())
+        .config(cfg.clone())
+        .x_pre(x_pre.to_vec())
+        .build()?
+        .keyspace_study_with_attacks(attacks, fraction, n_trials, deltas)
 }
 
 /// One random-keyspace trial (Figs. 7–8).
@@ -176,16 +130,14 @@ pub struct RandomTrial {
 impl RandomTrial {
     /// Looks up `η'(δ)`.
     pub fn eta(&self, delta: f64) -> Option<f64> {
-        self.effectiveness
-            .iter()
-            .find(|(d, _)| (d - delta).abs() < 1e-12)
-            .map(|&(_, e)| e)
+        eta_lookup(&self.effectiveness, delta)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::effectiveness;
     use gridmtd_powergrid::cases;
 
     #[test]

@@ -36,4 +36,7 @@ mod wls;
 
 pub use bdd::{BadDataDetector, BddOutcome};
 pub use noise::NoiseModel;
-pub use wls::{EstimationError, EstimatorBackend, StateEstimator, SPARSE_MIN_STATES};
+pub use wls::{
+    gain_symbolic_analyses, EstimationError, EstimatorBackend, EstimatorContext, StateEstimator,
+    SPARSE_MIN_STATES,
+};

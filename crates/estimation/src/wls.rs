@@ -22,12 +22,62 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use gridmtd_linalg::sparse::{SparseCholesky, SparseMatrix, SymbolicCholesky};
 use gridmtd_linalg::{Cholesky, LinalgError, Matrix};
 
 use crate::NoiseModel;
+
+/// Process-wide count of sparse gain-matrix symbolic analyses, for the
+/// same regression-guard purpose as `gridmtd_powergrid::stats`: warm
+/// paths that hold an [`EstimatorContext`] must not re-analyze the gain
+/// pattern for an unchanged topology.
+static GAIN_SYMBOLIC_ANALYSES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of sparse gain-matrix (`HᵀWH`) symbolic factorizations run so
+/// far, process-wide and monotone (relaxed atomics; diagnostics only).
+pub fn gain_symbolic_analyses() -> u64 {
+    GAIN_SYMBOLIC_ANALYSES.load(Ordering::Relaxed)
+}
+
+/// Reusable estimator-construction state: the cached symbolic
+/// factorization of the sparse gain matrix `HᵀWH`.
+///
+/// The gain's sparsity *pattern* is fixed by the grid topology — MTD
+/// reactance perturbations change `H`'s values, never its structure — so
+/// detectors built for many `x_post` candidates on one topology can
+/// share a single symbolic analysis and run only the numeric phase each.
+/// The cached analysis is validated against each new gain's pattern
+/// (shape, column pointers, row indices) and transparently re-analyzed
+/// on mismatch, so reuse is always correct and always bit-identical to a
+/// cold construction. Dense-backend estimators ignore the context.
+#[derive(Debug, Clone, Default)]
+pub struct EstimatorContext {
+    gain_symbolic: Option<Arc<SymbolicCholesky>>,
+    reuses: u64,
+}
+
+impl EstimatorContext {
+    /// Creates an empty context (first sparse construction analyzes).
+    pub fn new() -> EstimatorContext {
+        EstimatorContext::default()
+    }
+
+    /// Number of estimator constructions that reused the cached symbolic
+    /// analysis.
+    pub fn symbolic_reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Whether a symbolic analysis is cached (used by sharing layers to
+    /// publish a freshly analyzed context without clobbering an
+    /// established one).
+    pub fn has_symbolic(&self) -> bool {
+        self.gain_symbolic.is_some()
+    }
+}
 
 /// State-count crossover between the dense and sparse gain backends.
 ///
@@ -163,6 +213,33 @@ impl StateEstimator {
         noise: &NoiseModel,
         backend: EstimatorBackend,
     ) -> Result<StateEstimator, EstimationError> {
+        StateEstimator::with_context_backend(h, noise, backend, &mut EstimatorContext::new())
+    }
+
+    /// [`StateEstimator::new`] with a reusable [`EstimatorContext`]: on
+    /// the sparse backend the gain's symbolic factorization is taken
+    /// from the context when its pattern matches (and stored there after
+    /// a fresh analysis), so repeated detector builds on one topology
+    /// run the numeric phase only. Bit-identical to
+    /// [`StateEstimator::new`] in every case.
+    ///
+    /// # Errors
+    ///
+    /// See [`StateEstimator::new`].
+    pub fn with_context(
+        h: Matrix,
+        noise: &NoiseModel,
+        ctx: &mut EstimatorContext,
+    ) -> Result<StateEstimator, EstimationError> {
+        StateEstimator::with_context_backend(h, noise, EstimatorBackend::Auto, ctx)
+    }
+
+    fn with_context_backend(
+        h: Matrix,
+        noise: &NoiseModel,
+        backend: EstimatorBackend,
+        ctx: &mut EstimatorContext,
+    ) -> Result<StateEstimator, EstimationError> {
         if noise.len() != h.rows() {
             return Err(EstimationError::DimensionMismatch {
                 expected: h.rows(),
@@ -197,8 +274,30 @@ impl StateEstimator {
                 }
             }
             let gain_matrix = SparseMatrix::from_triplets(h.cols(), h.cols(), &triplets)?;
-            let symbolic = Arc::new(SymbolicCholesky::analyze(&gain_matrix)?);
-            let gain = SparseCholesky::factor(symbolic, &gain_matrix)?;
+            // The cached symbolic serves any gain with the same pattern;
+            // `factor` itself verifies the pattern, so a mismatch (new
+            // topology through an old context) falls back to a fresh
+            // analysis instead of producing wrong numbers.
+            let cached = match ctx.gain_symbolic.as_ref() {
+                Some(sym) => match SparseCholesky::factor(Arc::clone(sym), &gain_matrix) {
+                    Ok(gain) => {
+                        ctx.reuses += 1;
+                        Some(gain)
+                    }
+                    Err(LinalgError::ShapeMismatch { .. }) => None,
+                    Err(e) => return Err(e.into()),
+                },
+                None => None,
+            };
+            let gain = match cached {
+                Some(gain) => gain,
+                None => {
+                    GAIN_SYMBOLIC_ANALYSES.fetch_add(1, Ordering::Relaxed);
+                    let symbolic = Arc::new(SymbolicCholesky::analyze(&gain_matrix)?);
+                    ctx.gain_symbolic = Some(Arc::clone(&symbolic));
+                    SparseCholesky::factor(symbolic, &gain_matrix)?
+                }
+            };
             GainSolver::Sparse {
                 h_sparse: SparseMatrix::from_dense(&h),
                 gain,

@@ -130,6 +130,22 @@ impl OpfContext {
         OpfContext::default()
     }
 
+    /// Creates a context around an existing power-flow context (fresh,
+    /// cold LP state).
+    ///
+    /// Passing a *primed* [`dcpf::PfContext`] (see
+    /// [`dcpf::PfContext::prime`]) lets many short-lived OPF contexts —
+    /// one per multistart run, say — share a single symbolic
+    /// factorization of the topology while keeping their simplex warm
+    /// chains fully independent, so results stay bit-identical to
+    /// all-fresh contexts.
+    pub fn with_pf(pf: dcpf::PfContext) -> OpfContext {
+        OpfContext {
+            pf,
+            ..OpfContext::default()
+        }
+    }
+
     /// Number of OPF solves that hit the warm-start path.
     pub fn warm_solves(&self) -> u64 {
         self.lp.warm_solves()

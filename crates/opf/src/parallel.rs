@@ -19,9 +19,40 @@
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Worker count used by [`par_map`]: `GRIDMTD_THREADS` if set (minimum
-/// 1), else the machine's available parallelism.
+/// Process-wide worker-count override (0 = unset). Set through
+/// [`set_thread_override`]; read by every fan-out via
+/// [`available_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the process-wide worker-count override.
+///
+/// The override beats the `GRIDMTD_THREADS` environment variable and the
+/// machine's parallelism, and reaches **every** fan-out layer — outer
+/// batch requests, inner multistarts, attack-scoring chunks — because
+/// they all size themselves through [`available_threads`]. This is the
+/// single knob behind `MtdSession::builder().threads(n)` and
+/// `gridmtd run --threads`. Results are bit-identical for any worker
+/// count (the workspace determinism contract), so the override is purely
+/// a resource-usage control.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The worker-count override currently in force, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Worker count used by [`par_map`]: the [`set_thread_override`] value
+/// if set, else `GRIDMTD_THREADS` (minimum 1), else the machine's
+/// available parallelism.
 pub fn available_threads() -> usize {
+    if let Some(n) = thread_override() {
+        return n;
+    }
     if let Ok(v) = std::env::var("GRIDMTD_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.max(1);

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use gridmtd_linalg::sparse::{SparseCholesky, SparseMatrix, SymbolicCholesky};
 use gridmtd_linalg::Lu;
 
-use crate::{GridError, Network};
+use crate::{stats, GridError, Network};
 
 /// Bus-count crossover between the dense and sparse backends.
 ///
@@ -192,6 +192,27 @@ impl PfContext {
         }
     }
 
+    /// Builds the topology-keyed sparse cache up front (symbolic
+    /// factorization, slot map, a first numeric factor at `x`) without
+    /// running a solve. A primed context — and every *clone* of it — then
+    /// serves numeric-only refactorizations for any reactance vector on
+    /// the same topology. No-op on the dense path.
+    ///
+    /// This is the session-warmup hook: prime one context per topology,
+    /// clone it into per-thread / per-start contexts, and the symbolic
+    /// analysis runs exactly once per topology for the whole fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reactance validation and factorization failures.
+    pub fn prime(&mut self, net: &Network, x: &[f64]) -> Result<(), GridError> {
+        if self.uses_sparse(net) {
+            let b = net.susceptances(x)?;
+            self.refactor(net, &b)?;
+        }
+        Ok(())
+    }
+
     /// Ensures the cache matches `net`'s topology, rebuilding the
     /// symbolic factorization if needed, then rewrites the values for
     /// `suscept` and runs the numeric phase.
@@ -252,6 +273,7 @@ impl SparseCache {
                 [slot(ri, ri), slot(rj, rj), slot(ri, rj), slot(rj, ri)]
             })
             .collect();
+        stats::count_pf_symbolic_analysis();
         let symbolic = Arc::new(SymbolicCholesky::analyze(&b)?);
         let numeric = SparseCholesky::factor(symbolic, &b)?;
         Ok(SparseCache {

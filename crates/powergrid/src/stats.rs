@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static MEASUREMENT_MATRIX_BUILDS: AtomicU64 = AtomicU64::new(0);
 static SUSCEPTANCE_BUILDS: AtomicU64 = AtomicU64::new(0);
+static PF_SYMBOLIC_ANALYSES: AtomicU64 = AtomicU64::new(0);
 
 /// Number of dense measurement-matrix (`H`) constructions so far.
 pub fn measurement_matrix_builds() -> u64 {
@@ -29,12 +30,25 @@ pub fn susceptance_builds() -> u64 {
     SUSCEPTANCE_BUILDS.load(Ordering::Relaxed)
 }
 
+/// Number of sparse power-flow symbolic factorizations (fill-reducing
+/// ordering + elimination-tree analysis of `B̃`) so far. The symbolic
+/// phase depends only on the grid topology, so warm paths — a primed
+/// [`crate::dcpf::PfContext`] and its clones — must not re-run it for an
+/// unchanged topology.
+pub fn pf_symbolic_analyses() -> u64 {
+    PF_SYMBOLIC_ANALYSES.load(Ordering::Relaxed)
+}
+
 pub(crate) fn count_measurement_matrix_build() {
     MEASUREMENT_MATRIX_BUILDS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn count_susceptance_build() {
     SUSCEPTANCE_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_pf_symbolic_analysis() {
+    PF_SYMBOLIC_ANALYSES.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]

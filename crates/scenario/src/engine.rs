@@ -1,19 +1,20 @@
-//! Compiles a [`ScenarioSpec`] into a sweep plan and executes it.
+//! Compiles a [`ScenarioSpec`] into a session-routed sweep plan and
+//! executes it.
 //!
-//! Execution is deterministic end to end: every Monte-Carlo stream in
-//! the workspace is seeded from the spec, the sweep axes fan out through
-//! [`gridmtd_opf::parallel`] (order-preserving — results land in axis
-//! order for any worker count), and each sweep point carries its own
-//! warm [`OpfContext`] (created per point, never shared), so the JSON
-//! and CSV artifacts are a pure function of the spec. The golden-file
-//! tests pin that byte for byte.
+//! Every spec builds one [`MtdSession`] (the stateful handle owning the
+//! warm caches of the whole pipeline) and expresses its sweep as typed
+//! [`Request`]s; [`MtdSession::run_batch`] fans them across the worker
+//! threads. Execution is deterministic end to end: every
+//! Monte-Carlo stream is seeded from the spec, batch responses land in
+//! request order for any worker count, and session-routed results are
+//! bit-identical to the historical free-function pipeline — so the JSON
+//! and CSV artifacts remain a pure function of the spec, pinned byte
+//! for byte by the golden-file tests.
 
+use gridmtd_core::session::batch::{Request, Response};
 use gridmtd_core::{
-    attacker_learning_study, cost, effectiveness, random_keyspace_study, selection, simulate_day,
-    tradeoff_sweep, HourOutcome, LearningOptions, LearningPoint, MtdConfig, RandomTrial,
-    TimelineOptions, TradeoffCurve,
+    HourOutcome, LearningOptions, MtdSession, RandomTrial, TimelineOptions, TradeoffCurve,
 };
-use gridmtd_opf::{solve_opf_with, OpfContext};
 use gridmtd_powergrid::{cases, Network};
 use gridmtd_stats::empirical::{summarize, Summary};
 use gridmtd_traces::LoadTrace;
@@ -63,28 +64,51 @@ pub fn build_network(grid: &GridSpec) -> Network {
 /// pipeline fails; spec-level problems were already caught at parse
 /// time.
 pub fn run_spec(spec: &ScenarioSpec) -> Result<RunArtifacts, ScenarioError> {
+    run_spec_with_threads(spec, None)
+}
+
+/// [`run_spec`] with an explicit worker-thread cap, handed to the
+/// underlying [`MtdSession`] (`gridmtd run --threads` plumbs through
+/// here). Results are bit-identical for any worker count.
+///
+/// # Errors
+///
+/// See [`run_spec`].
+pub fn run_spec_with_threads(
+    spec: &ScenarioSpec,
+    threads: Option<usize>,
+) -> Result<RunArtifacts, ScenarioError> {
     let base = build_network(&spec.grid);
     match &spec.sweep {
-        SweepSpec::Tradeoff(sweep) => run_tradeoff(spec, &base, sweep),
-        SweepSpec::Keyspace(sweep) => run_keyspace(spec, &base, sweep),
-        SweepSpec::Timeline(sweep) => run_timeline(spec, &base, sweep),
-        SweepSpec::Learning(sweep) => run_learning(spec, &base, sweep),
+        SweepSpec::Tradeoff(sweep) => run_tradeoff(spec, &base, sweep, threads),
+        SweepSpec::Keyspace(sweep) => run_keyspace(spec, &base, sweep, threads),
+        SweepSpec::Timeline(sweep) => run_timeline(spec, &base, sweep, threads),
+        SweepSpec::Learning(sweep) => run_learning(spec, &base, sweep, threads),
     }
 }
 
-/// The experiment's operating point: the network at its in-effect loads
-/// and the pre-perturbation reactances (the attacker's knowledge).
-fn prepare_world(
+/// Builds the spec's session: the network at its in-effect loads and
+/// the pre-perturbation reactances (the attacker's knowledge), with the
+/// spec configuration validated at the session boundary.
+fn build_session(
     spec: &ScenarioSpec,
     base: &Network,
-) -> Result<(Network, Vec<f64>), ScenarioError> {
-    let x_policy = match spec.grid.x_pre {
-        XPrePolicy::Nominal => base.nominal_reactances(),
-        XPrePolicy::Spread => selection::spread_pre_perturbation(base, spec.config.eta_max),
+    threads: Option<usize>,
+) -> Result<MtdSession, ScenarioError> {
+    let with_common = |builder: gridmtd_core::MtdSessionBuilder| match threads {
+        Some(n) => builder.threads(n),
+        None => builder,
+    };
+    let policy = |builder: gridmtd_core::MtdSessionBuilder| match spec.grid.x_pre {
+        XPrePolicy::Nominal => builder,
+        XPrePolicy::Spread => builder.spread_x_pre(),
+    };
+    let session = |net: Network| {
+        with_common(policy(MtdSession::builder(net).config(spec.config.clone()))).build()
     };
     match &spec.grid.load {
-        LoadSpec::Nominal => Ok((base.clone(), x_policy)),
-        LoadSpec::Scaled(s) => Ok((base.scale_loads(*s), x_policy)),
+        LoadSpec::Nominal => Ok(session(base.clone())?),
+        LoadSpec::Scaled(s) => Ok(session(base.scale_loads(*s))?),
         LoadSpec::TraceHour {
             trace,
             hour,
@@ -93,52 +117,74 @@ fn prepare_world(
             let tr = gridmtd_traces::by_name(trace).expect("trace validated at parse time");
             let total = base.total_load();
             let net_now = base.scale_loads(tr.scaling_factor(*hour, total));
-            let x_pre = match attacker_hour {
+            match attacker_hour {
                 // The attacker's knowledge is the baseline-OPF reactance
-                // setting of the staler hour (the paper's Fig. 9 setup).
+                // setting of the staler hour (the paper's Fig. 9 setup):
+                // a sibling session at that hour's loads computes it.
                 Some(ah) => {
                     let net_attacker = base.scale_loads(tr.scaling_factor(*ah, total));
-                    let (x, _) = selection::baseline_opf(&net_attacker, &x_policy, &spec.config)?;
-                    x
+                    let x_pre = session(net_attacker)?.baseline()?.x.clone();
+                    Ok(with_common(
+                        MtdSession::builder(net_now)
+                            .config(spec.config.clone())
+                            .x_pre(x_pre),
+                    )
+                    .build()?)
                 }
-                None => x_policy,
-            };
-            Ok((net_now, x_pre))
+                None => Ok(session(net_now)?),
+            }
         }
     }
+}
+
+/// Unwraps one batch response into the expected variant (any other
+/// variant is an engine-internal invariant violation — the engine built
+/// the request, so it knows the shape of the answer).
+macro_rules! expect_response {
+    ($variant:ident, $response:expr) => {
+        match $response? {
+            Response::$variant(inner) => inner,
+            other => unreachable!(
+                concat!(stringify!($variant), " request produced {:?}"),
+                other
+            ),
+        }
+    };
 }
 
 fn run_tradeoff(
     spec: &ScenarioSpec,
     base: &Network,
     sweep: &TradeoffSweep,
+    threads: Option<usize>,
 ) -> Result<RunArtifacts, ScenarioError> {
-    let (net, x_pre) = prepare_world(spec, base)?;
+    let session = build_session(spec, base, threads)?;
+    let net = session.network().clone();
 
     // The variant axes (seed × attack magnitude): each variant is a full
-    // threshold sweep. Variants fan out in axis order; the sweep inside
-    // each variant fans out again over thresholds (nested scoped-thread
-    // fan-outs are allowed and still deterministic).
+    // threshold sweep, expressed as one typed batch request. Variants
+    // fan out in axis order; the sweep inside each variant fans out
+    // again over thresholds (nested fan-outs are allowed and still
+    // deterministic).
     let variants: Vec<(u64, f64)> = sweep
         .seeds
         .iter()
         .flat_map(|&s| sweep.attack_ratios.iter().map(move |&r| (s, r)))
         .collect();
-    let curves: Vec<Result<TradeoffCurve, ScenarioError>> =
-        gridmtd_opf::parallel::par_map(&variants, |_, &(seed, ratio)| {
-            let cfg = MtdConfig {
-                seed,
-                attack_ratio: ratio,
-                ..spec.config.clone()
-            };
-            Ok(tradeoff_sweep(
-                &net,
-                &x_pre,
-                &sweep.gamma_thresholds,
-                &sweep.deltas,
-                &cfg,
-            )?)
-        });
+    let requests: Vec<Request> = variants
+        .iter()
+        .map(|&(seed, ratio)| Request::Tradeoff {
+            gamma_thresholds: sweep.gamma_thresholds.clone(),
+            deltas: sweep.deltas.clone(),
+            seed: Some(seed),
+            attack_ratio: Some(ratio),
+        })
+        .collect();
+    let curves: Vec<Result<TradeoffCurve, ScenarioError>> = session
+        .run_batch(&requests)
+        .into_iter()
+        .map(|response| Ok(expect_response!(Tradeoff, response)))
+        .collect();
 
     let mut variant_blocks = Vec::new();
     let mut csv =
@@ -212,13 +258,24 @@ fn run_keyspace(
     spec: &ScenarioSpec,
     base: &Network,
     sweep: &KeyspaceSweep,
+    threads: Option<usize>,
 ) -> Result<RunArtifacts, ScenarioError> {
-    let (net, x_pre) = prepare_world(spec, base)?;
-    // One warm context serves the run's own OPF solves (the attack
-    // ensembles share the pre-perturbation operating point).
-    let mut ctx = OpfContext::new();
-    let opf_pre = solve_opf_with(&net, &x_pre, &spec.config.opf_options(), &mut ctx)
-        .map_err(gridmtd_core::MtdError::from)?;
+    let session = build_session(spec, base, threads)?;
+    let net = session.network().clone();
+
+    // One study per seed, each a typed batch request on a derived
+    // session (own ensemble, shared topology caches).
+    let requests: Vec<Request> = sweep
+        .seeds
+        .iter()
+        .map(|&seed| Request::Keyspace {
+            fraction: sweep.fraction,
+            n_trials: sweep.n_trials,
+            deltas: sweep.deltas.clone(),
+            seed: Some(seed),
+        })
+        .collect();
+    let studies = session.run_batch(&requests);
 
     let mut variant_blocks = Vec::new();
     let mut csv = String::from("seed,trial,gamma");
@@ -228,21 +285,8 @@ fn run_keyspace(
     csv.push('\n');
     let mut summary = Vec::new();
 
-    for &seed in &sweep.seeds {
-        let cfg = MtdConfig {
-            seed,
-            ..spec.config.clone()
-        };
-        let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf_pre.dispatch, &cfg)?;
-        let trials: Vec<RandomTrial> = random_keyspace_study(
-            &net,
-            &x_pre,
-            &attacks,
-            sweep.fraction,
-            sweep.n_trials,
-            &sweep.deltas,
-            &cfg,
-        )?;
+    for (&seed, study) in sweep.seeds.iter().zip(studies) {
+        let trials: Vec<RandomTrial> = expect_response!(Keyspace, study);
         let gammas: Vec<f64> = trials.iter().map(|t| t.gamma).collect();
         let trial_blocks: Vec<Json> = trials
             .iter()
@@ -301,6 +345,7 @@ fn run_timeline(
     spec: &ScenarioSpec,
     base: &Network,
     sweep: &TimelineSweep,
+    threads: Option<usize>,
 ) -> Result<RunArtifacts, ScenarioError> {
     let full = gridmtd_traces::by_name(&sweep.trace).expect("trace validated at parse time");
     let trace = match sweep.hours {
@@ -312,7 +357,21 @@ fn run_timeline(
         target_eta: sweep.target_eta,
         gamma_grid: sweep.gamma_grid.clone(),
     };
-    let outcomes: Vec<HourOutcome> = simulate_day(base, &trace, &opts, &spec.config)?;
+    // The timeline runs on the base (unscaled) network — the trace
+    // itself rescales the loads hour by hour.
+    let session = {
+        let builder = MtdSession::builder(base.clone()).config(spec.config.clone());
+        match threads {
+            Some(n) => builder.threads(n),
+            None => builder,
+        }
+        .build()?
+    };
+    let response = session.run_request(&Request::Timeline {
+        hours: trace.hourly().to_vec(),
+        options: opts.clone(),
+    });
+    let outcomes: Vec<HourOutcome> = expect_response!(Timeline, response);
 
     let costs: Vec<f64> = outcomes.iter().map(|o| o.cost_increase_percent).collect();
     let met = outcomes.iter().filter(|o| o.target_met).count();
@@ -383,21 +442,10 @@ fn run_learning(
     spec: &ScenarioSpec,
     base: &Network,
     sweep: &LearningSweep,
+    threads: Option<usize>,
 ) -> Result<RunArtifacts, ScenarioError> {
-    let (net, x_pre) = prepare_world(spec, base)?;
-    let (x_post, gamma_achieved, cost_increase) = match sweep.gamma_threshold {
-        Some(g) => {
-            // The baseline cost is only needed to price the selection,
-            // so the (cold) pre-perturbation OPF is scoped to this arm.
-            let mut ctx = OpfContext::new();
-            let baseline = solve_opf_with(&net, &x_pre, &spec.config.opf_options(), &mut ctx)
-                .map_err(gridmtd_core::MtdError::from)?;
-            let sel = selection::select_mtd(&net, &x_pre, g, &spec.config)?;
-            let increase = cost::cost_increase_percent(baseline.cost, sel.opf.cost);
-            (sel.x_post, sel.gamma, increase)
-        }
-        None => (x_pre.clone(), 0.0, 0.0),
-    };
+    let session = build_session(spec, base, threads)?;
+    let net = session.network().clone();
 
     let opts = LearningOptions {
         sample_counts: sweep.sample_counts.clone(),
@@ -406,7 +454,13 @@ fn run_learning(
         load_jitter: sweep.load_jitter,
         target_delta: sweep.target_delta,
     };
-    let points: Vec<LearningPoint> = attacker_learning_study(&net, &x_post, &opts, &spec.config)?;
+    let response = session.run_request(&Request::Learning {
+        gamma_threshold: sweep.gamma_threshold,
+        options: opts,
+    });
+    let flow: gridmtd_core::LearningOutcome = expect_response!(Learning, response);
+    let (gamma_achieved, cost_increase, points) =
+        (flow.gamma_achieved, flow.cost_increase_percent, flow.points);
 
     let detections: Vec<f64> = points.iter().map(|p| p.mean_detection).collect();
     let point_blocks: Vec<Json> = points

@@ -49,7 +49,7 @@ mod output;
 pub mod spec;
 pub mod toml;
 
-pub use engine::{build_network, run_spec, RunArtifacts};
+pub use engine::{build_network, run_spec, run_spec_with_threads, RunArtifacts};
 pub use error::ScenarioError;
-pub use output::{load_spec, run_file, write_run_dir};
+pub use output::{load_spec, run_file, run_file_with, write_run_dir};
 pub use spec::{parse_spec, CaseId, GridSpec, LoadSpec, ScenarioSpec, SweepSpec, XPrePolicy};

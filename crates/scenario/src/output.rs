@@ -4,7 +4,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::engine::{run_spec, RunArtifacts};
+use crate::engine::{run_spec_with_threads, RunArtifacts};
 use crate::error::ScenarioError;
 use crate::spec::{parse_spec, ScenarioSpec};
 
@@ -30,8 +30,23 @@ pub fn run_file(
     spec_path: &Path,
     out_root: &Path,
 ) -> Result<(ScenarioSpec, RunArtifacts, PathBuf), ScenarioError> {
+    run_file_with(spec_path, out_root, None)
+}
+
+/// [`run_file`] with an explicit worker-thread cap, handed through the
+/// engine to the underlying `MtdSession` (the `gridmtd run --threads`
+/// knob). Artifacts are bit-identical for any worker count.
+///
+/// # Errors
+///
+/// See [`run_file`].
+pub fn run_file_with(
+    spec_path: &Path,
+    out_root: &Path,
+    threads: Option<usize>,
+) -> Result<(ScenarioSpec, RunArtifacts, PathBuf), ScenarioError> {
     let spec = load_spec(spec_path)?;
-    let artifacts = run_spec(&spec)?;
+    let artifacts = run_spec_with_threads(&spec, threads)?;
     let dir = write_run_dir(&spec, &artifacts, out_root)?;
     Ok((spec, artifacts, dir))
 }

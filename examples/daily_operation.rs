@@ -1,31 +1,35 @@
 //! A day in the life of an MTD-defended grid operator (Figs. 10–11).
 //!
-//! Each hour: re-dispatch for the trace load, assume the attacker's
-//! knowledge is one hour stale, tune the smallest subspace-angle
-//! threshold achieving `η'(0.9) ≥ 0.9`, and log the operational cost of
-//! the defense. Uses reduced optimizer budgets so it finishes in about a
-//! minute; the `fig10_11` bench binary runs the full-budget version.
+//! Drives the hourly loop through the session API: `begin_day` arms the
+//! trace and initializes the attacker's (one-hour-stale) knowledge,
+//! then each `step_hour` re-dispatches for the hour's load, tunes the
+//! smallest subspace-angle threshold achieving `η'(0.9) ≥ 0.9`, logs
+//! the operational cost of the defense, and advances the stale-matrix
+//! state the session owns. Uses reduced optimizer budgets so it
+//! finishes in about a minute; the `fig10_11` bench binary runs the
+//! full-budget version.
 //!
 //! Run with: `cargo run --release --example daily_operation`
 
-use gridmtd::mtd::{timeline, MtdConfig, TimelineOptions};
+use gridmtd::mtd::{MtdConfig, MtdSession, TimelineOptions};
 use gridmtd::powergrid::cases;
 use gridmtd::traces::nyiso_winter_weekday;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let net = cases::case14();
-    let trace = nyiso_winter_weekday();
     let cfg = MtdConfig {
         n_attacks: 300,
         n_starts: 2,
         max_evals_per_start: 150,
         ..MtdConfig::default()
     };
-    let opts = TimelineOptions::default();
+    let mut session = MtdSession::builder(cases::case14()).config(cfg).build()?;
 
     println!("hour   load(MW)  cost_no_mtd  cost_mtd   +%     gamma  eta(0.9)");
-    let outcomes = timeline::simulate_day(&net, &trace, &opts, &cfg)?;
-    for o in &outcomes {
+    session.begin_day(&nyiso_winter_weekday(), &TimelineOptions::default())?;
+    let mut daily_premium = 0.0;
+    while session.hours_remaining() > 0 {
+        let o = session.step_hour()?;
+        daily_premium += o.cost_with_mtd - o.cost_no_mtd;
         println!(
             "{:02}:00  {:7.0}  {:10.0}  {:9.0}  {:5.2}  {:6.3}  {:7.3}{}",
             o.hour,
@@ -43,10 +47,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let daily_premium: f64 = outcomes
-        .iter()
-        .map(|o| o.cost_with_mtd - o.cost_no_mtd)
-        .sum();
     println!();
     println!("daily MTD premium: ${daily_premium:.0} — the 'insurance' cost of keeping");
     println!("stale-knowledge FDI attacks detectable around the clock.");

@@ -1,47 +1,43 @@
 //! Audit a random-perturbation MTD "keyspace" (the strategy of prior
 //! work) against the SPA-targeted design of the paper.
 //!
-//! Prints, for each strategy, the achieved subspace angle and the
-//! fraction of stale stealthy attacks that become detectable — making
-//! the paper's headline comparison (Figs. 7–8 vs Fig. 6) tangible on one
-//! screen.
+//! One session, one cached attack ensemble, two strategies: random
+//! trials through [`MtdSession::keyspace_study`] and targeted
+//! selections through [`MtdSession::select`], all scored against the
+//! same stale attacks — making the paper's headline comparison
+//! (Figs. 7–8 vs Fig. 6) tangible on one screen.
 //!
 //! Run with: `cargo run --release --example keyspace_audit`
 
-use gridmtd::mtd::{effectiveness, selection, MtdConfig};
+use gridmtd::mtd::{MtdConfig, MtdSession};
 use gridmtd::powergrid::cases;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let net = cases::case14();
-    let cfg = MtdConfig {
-        n_attacks: 400,
-        n_starts: 3,
-        max_evals_per_start: 200,
-        ..MtdConfig::default()
-    };
-    let x_pre = net.nominal_reactances();
-    let opf = gridmtd::opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
-    let attacks = effectiveness::build_attack_set(&net, &x_pre, &opf.dispatch, &cfg)?;
-    let mut rng = StdRng::seed_from_u64(2024);
+    let session = MtdSession::builder(cases::case14())
+        .config(MtdConfig {
+            n_attacks: 400,
+            n_starts: 3,
+            max_evals_per_start: 200,
+            ..MtdConfig::default()
+        })
+        .build()?;
 
     println!("strategy                     gamma   eta(0.5)  eta(0.9)");
-    for trial in 0..5 {
-        let x = selection::random_perturbation(&net, &x_pre, 0.5, &mut rng);
-        let eval = effectiveness::evaluate_with_attacks(&net, &x_pre, &x, &attacks, &cfg)?;
+    // Prior work's keyspace: random perturbations, here at the full
+    // ±50% D-FACTS range — and still no effectiveness guarantee.
+    for trial in session.keyspace_study(0.5, 5, &[0.5, 0.9])? {
         println!(
             "random +/-50%  (trial {})    {:5.3}   {:8.3}  {:8.3}",
-            trial + 1,
-            eval.gamma,
-            eval.effectiveness(0.5),
-            eval.effectiveness(0.9)
+            trial.trial + 1,
+            trial.gamma,
+            trial.eta(0.5).unwrap_or(0.0),
+            trial.eta(0.9).unwrap_or(0.0)
         );
     }
 
     for gamma_th in [0.1, 0.2] {
-        let sel = selection::select_mtd(&net, &x_pre, gamma_th, &cfg)?;
-        let eval = effectiveness::evaluate_with_attacks(&net, &x_pre, &sel.x_post, &attacks, &cfg)?;
+        let sel = session.select(gamma_th)?;
+        let eval = session.evaluate(&sel.x_post)?;
         println!(
             "SPA-targeted (gamma>={gamma_th})      {:5.3}   {:8.3}  {:8.3}",
             eval.gamma,

@@ -3,21 +3,20 @@
 //! attacks stealthy, and each perturbation carries a different
 //! operational cost — the cost/benefit tension the paper formalizes.
 //!
-//! Reproduces Tables I–III interactively.
+//! Reproduces Tables I–III interactively through a session (whose warm
+//! OPF state serves every per-line solve).
 //!
 //! Run with: `cargo run --release --example motivating_4bus`
 
-use gridmtd::mtd::theory;
-use gridmtd::opf::{solve_opf, OpfOptions};
-use gridmtd::powergrid::cases;
+use gridmtd::mtd::{theory, MtdSession};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let net = cases::case4();
-    let x0 = net.nominal_reactances();
-    let opts = OpfOptions::default();
+    let session = MtdSession::builder(gridmtd::powergrid::cases::case4()).build()?;
+    let net = session.network();
+    let x0 = session.x_pre().to_vec();
 
     // Pre-perturbation operating point (Table II).
-    let pre = solve_opf(&net, &x0, &opts)?;
+    let pre = session.opf_pre()?;
     println!("pre-perturbation OPF (Table II):");
     println!(
         "  flows: {:.2} / {:.2} / {:.2} / {:.2} MW",
@@ -30,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // Two stealthy attacks (Table I): state offsets with bus 1 as slack.
-    let h = net.measurement_matrix(&x0)?;
+    let h = session.h_pre()?;
     let attack1 = h.matvec(&[1.0, 1.0, 1.0])?; // c = [0,1,1,1]
     let attack2 = h.matvec(&[0.0, 0.0, 1.0])?; // c = [0,0,0,1]
 
@@ -39,9 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for l in 0..4 {
         let mut x = x0.clone();
         x[l] *= 1.2;
-        let d1 = !theory::is_undetectable(&net.measurement_matrix(&x)?, &attack1)?;
-        let d2 = !theory::is_undetectable(&net.measurement_matrix(&x)?, &attack2)?;
-        let post = solve_opf(&net, &x, &opts)?;
+        let h_post = net.measurement_matrix(&x)?;
+        let d1 = !theory::is_undetectable(&h_post, &attack1)?;
+        let d2 = !theory::is_undetectable(&h_post, &attack2)?;
+        let post = session.solve_opf(&x)?;
         println!(
             "  dx{}    {:<12} {:<12} ${:<10.0} +{:.2}%",
             l + 1,

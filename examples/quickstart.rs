@@ -1,67 +1,62 @@
 //! Quickstart: detect a stale FDI attack with an MTD perturbation.
 //!
-//! Walks the full pipeline of the paper on the IEEE 14-bus system:
-//! build the grid, let an attacker learn `H`, apply an MTD reactance
-//! perturbation, and watch the attacker's previously-stealthy attack
-//! light up the bad-data detector.
+//! Walks the full pipeline of the paper on the IEEE 14-bus system
+//! through one [`MtdSession`] — the stateful handle that owns the
+//! grid, the attacker's knowledge `H(x_pre)`, the attack ensemble and
+//! every warm solver cache: evaluate the attacker's stealthy ensemble,
+//! select an MTD reactance perturbation, and watch the previously
+//! invisible attacks light up the bad-data detector.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gridmtd::attack::AttackerKnowledge;
-use gridmtd::estimation::{BadDataDetector, NoiseModel, StateEstimator};
-use gridmtd::mtd::{selection, spa, MtdConfig};
-use gridmtd::powergrid::{cases, dcpf};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use gridmtd::mtd::{MtdConfig, MtdSession};
+use gridmtd::powergrid::cases;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The grid and its nominal operating point.
-    let net = cases::case14();
-    let cfg = MtdConfig::default();
-    let x_pre = net.nominal_reactances();
-    let opf = gridmtd::opf::solve_opf(&net, &x_pre, &cfg.opf_options())?;
+    // 1. One session owns the grid, the validated config, and every
+    //    warm cache of the pipeline.
+    let cfg = MtdConfig {
+        n_attacks: 200,
+        ..MtdConfig::default()
+    };
+    let session = MtdSession::builder(cases::case14())
+        .config(cfg.clone())
+        .build()?;
     println!(
         "IEEE 14-bus: {} buses, {} lines, OPF cost ${:.0}/h",
-        net.n_buses(),
-        net.n_branches(),
-        opf.cost
+        session.network().n_buses(),
+        session.network().n_branches(),
+        session.opf_pre()?.cost
     );
 
-    // 2. The attacker eavesdrops and learns the measurement matrix.
-    let h_pre = net.measurement_matrix(&x_pre)?;
-    let attacker = AttackerKnowledge::learned(h_pre.clone(), 8); // learned at 8 AM
-    let pf = dcpf::solve_dispatch(&net, &x_pre, &opf.dispatch)?;
-    let z_nominal = pf.measurement_vector();
-    let mut rng = StdRng::seed_from_u64(1);
-    let attack = attacker
-        .craft_random_set(&z_nominal, cfg.attack_ratio, 1, &mut rng)?
-        .remove(0);
-
-    // Without MTD the attack is invisible: detection probability = alpha.
-    let noise = NoiseModel::uniform(z_nominal.len(), cfg.noise_sigma_mw);
-    let bdd_pre = BadDataDetector::new(StateEstimator::new(h_pre.clone(), &noise)?, cfg.alpha);
+    // 2. The attacker eavesdropped H(x_pre): the session's cached
+    //    ensemble is crafted against exactly that knowledge. While the
+    //    reactances stay put, every attack sails through the detector at
+    //    the false-positive rate.
+    let x_pre = session.x_pre().to_vec();
+    let stale = session.evaluate(&x_pre)?;
     println!(
-        "detection probability without MTD: {:.4} (the false-positive rate is {:.4})",
-        bdd_pre.detection_probability(&attack.vector)?,
+        "mean detection without MTD: {:.4} (the false-positive rate is {:.4})",
+        stale.mean_detection(),
         cfg.alpha
     );
 
     // 3. The defender selects an MTD perturbation: minimize OPF cost
     //    subject to a subspace-angle threshold (problem (4)).
-    let sel = selection::select_mtd(&net, &x_pre, 0.2, &cfg)?;
-    let h_post = net.measurement_matrix(&sel.x_post)?;
+    let sel = session.select(0.2)?;
     println!(
         "selected MTD: gamma = {:.3} rad (threshold 0.2), OPF cost ${:.0}/h (+{:.2}%)",
-        spa::gamma(&h_pre, &h_post)?,
+        sel.gamma,
         sel.opf.cost,
-        100.0 * (sel.opf.cost - opf.cost).max(0.0) / opf.cost,
+        100.0 * (sel.opf.cost - session.opf_pre()?.cost).max(0.0) / session.opf_pre()?.cost,
     );
 
-    // 4. The stale attack is now exposed.
-    let bdd_post = BadDataDetector::new(StateEstimator::new(h_post, &noise)?, cfg.alpha);
+    // 4. The stale ensemble is now exposed.
+    let exposed = session.evaluate(&sel.x_post)?;
     println!(
-        "detection probability with MTD:    {:.4}",
-        bdd_post.detection_probability(&attack.vector)?
+        "mean detection with MTD:    {:.4}  (η'(0.9) = {:.2})",
+        exposed.mean_detection(),
+        exposed.effectiveness(0.9)
     );
     Ok(())
 }

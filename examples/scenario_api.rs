@@ -1,6 +1,8 @@
 //! Drive the declarative scenario engine from code instead of the CLI:
 //! parse a spec (inline here; usually a `scenarios/*.toml` file), run
-//! it, and consume the structured artifacts.
+//! it, and consume the structured artifacts. Under the hood the engine
+//! compiles the spec into typed `MtdSession` batch requests — the same
+//! entry point the `gridmtd` binary uses.
 //!
 //! Run with: `cargo run --release --example scenario_api`
 

@@ -1,10 +1,14 @@
 //! Explore the effectiveness-vs-cost frontier (Fig. 9) at any hour of
 //! the day.
 //!
+//! Two sessions tell the story: one at the *previous* hour computes the
+//! attacker's knowledge (the baseline-OPF reactances it eavesdropped),
+//! and one at the chosen hour sweeps the γ-threshold grid against it.
+//!
 //! Usage: `cargo run --release --example tradeoff_explorer -- [hour]`
 //! (default hour: 18, the evening peak).
 
-use gridmtd::mtd::{selection, tradeoff, MtdConfig};
+use gridmtd::mtd::{MtdConfig, MtdSession};
 use gridmtd::powergrid::cases;
 use gridmtd::traces::nyiso_winter_weekday;
 
@@ -28,17 +32,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prev = base.scale_loads(
         trace.scaling_factor(if hour == 0 { 23 } else { hour - 1 }, base.total_load()),
     );
-    // Attacker knowledge: last hour's (cost-flat) OPF reactances.
-    let x_start = selection::spread_pre_perturbation(&base, cfg.eta_max);
-    let (x_pre, _) = selection::baseline_opf(&prev, &x_start, &cfg)?;
+    // Attacker knowledge: last hour's (cost-flat) OPF reactances, from a
+    // sibling session at the stale hour's loads.
+    let x_pre = MtdSession::builder(prev)
+        .config(cfg.clone())
+        .spread_x_pre()
+        .build()?
+        .baseline()?
+        .x
+        .clone();
+    let session = MtdSession::builder(net).config(cfg).x_pre(x_pre).build()?;
 
     println!(
         "hour {hour:02}:00, load {:.0} MW — sweeping gamma thresholds",
-        net.total_load()
+        session.network().total_load()
     );
     let thresholds: Vec<f64> = (1..=8).map(|i| i as f64 * 0.05).collect();
-    let deltas = [0.5, 0.9];
-    let curve = tradeoff::tradeoff_sweep(&net, &x_pre, &thresholds, &deltas, &cfg)?;
+    let curve = session.tradeoff_sweep(&thresholds, &[0.5, 0.9])?;
 
     println!("baseline (no MTD) cost: ${:.0}/h", curve.baseline_cost);
     println!();

@@ -57,6 +57,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut spec_path: Option<PathBuf> = None;
     let mut out_root = PathBuf::from("runs");
     let mut quiet = false;
+    let mut threads: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -65,9 +66,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 None => return usage_error("--out takes a directory"),
             },
             "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
-                // The workspace's parallel fan-outs read GRIDMTD_THREADS;
-                // results are bit-identical for any worker count.
-                Some(n) => std::env::set_var("GRIDMTD_THREADS", n.max(1).to_string()),
+                // Plumbed through the scenario engine to
+                // `MtdSession::builder().threads(n)` — the one knob every
+                // fan-out layer honors; results are bit-identical for
+                // any worker count.
+                Some(n) => threads = Some(n.max(1)),
                 None => return usage_error("--threads takes a positive integer"),
             },
             "--quiet" => quiet = true,
@@ -85,7 +88,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return usage_error("run needs a spec file");
     };
 
-    match scenario::run_file(&spec_path, &out_root) {
+    match scenario::run_file_with(&spec_path, &out_root, threads) {
         Ok((spec, artifacts, dir)) => {
             println!(
                 "ran scenario `{}` ({}, {})",
