@@ -282,8 +282,9 @@ pub fn evaluate_mtd(
 /// experiment to validate the closed form.
 ///
 /// Trials fan out across worker threads; trial `t` draws its noise from
-/// a dedicated stream seeded `base ⊕ t`, so the alarm count (and hence
-/// the returned probability) is identical for any worker count.
+/// a dedicated stream derived by [`crate::seedstream::mix`]`(base, t)`,
+/// so the alarm count (and hence the returned probability) is identical
+/// for any worker count and independent across nearby seeds and trials.
 ///
 /// # Errors
 ///
@@ -303,7 +304,7 @@ pub fn monte_carlo_detection(
     let base = cfg.seed.wrapping_add(0x5eed);
     let trial_ids: Vec<u64> = (0..trials as u64).collect();
     let alarms = gridmtd_opf::parallel::par_map(&trial_ids, |_, &t| {
-        let mut rng = StdRng::seed_from_u64(base ^ t);
+        let mut rng = StdRng::seed_from_u64(crate::seedstream::mix(base, t));
         gridmtd_attack::detection::monte_carlo_trial(&bdd, &z_true, attack, &noise, &mut rng)
             .map(usize::from)
     })

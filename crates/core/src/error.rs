@@ -30,6 +30,12 @@ pub enum MtdError {
         /// The rejected value.
         value: f64,
     },
+    /// [`crate::MtdSession::step_hour`] was called with no day armed —
+    /// either [`crate::MtdSession::begin_day`] never ran or the armed
+    /// day's hours are exhausted. API misuse must stay a recoverable,
+    /// typed error: a long-running service worker routing client
+    /// requests into a session cannot afford a panic here.
+    DayNotStarted,
     /// A detection probability evaluated to NaN (numerical breakdown in
     /// the noncentral-χ² tail computation); carries the index of the
     /// offending attack so the ensemble entry can be inspected.
@@ -60,6 +66,9 @@ impl fmt::Display for MtdError {
             MtdError::Infeasible => write!(f, "no feasible MTD perturbation"),
             MtdError::InvalidConfig { field, value } => {
                 write!(f, "invalid MtdConfig: {field} = {value} is not allowed")
+            }
+            MtdError::DayNotStarted => {
+                write!(f, "step_hour called with no armed day (call begin_day first)")
             }
             MtdError::NanDetectionProbability { index } => {
                 write!(f, "detection probability of attack {index} is NaN")

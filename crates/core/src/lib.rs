@@ -63,6 +63,7 @@ pub mod effectiveness;
 mod error;
 pub mod impact;
 pub mod learning;
+pub mod seedstream;
 pub mod selection;
 pub mod session;
 pub mod spa;

@@ -1,0 +1,74 @@
+//! Collision-resistant derivation of per-trial RNG stream seeds.
+//!
+//! The Monte-Carlo loops fan each trial onto its own `StdRng` stream so
+//! results are bit-identical for any worker count. Historically the
+//! stream seed was derived as `base ^ t`, which is a bijection in `t`
+//! for one base but **collides across nearby bases**: with
+//! `base = seed + K`, trial `t` of seed `s` and trial `t ^ 1` of seed
+//! `s ^ 1` share a stream (e.g. `(K+1) ^ 1 == (K+0) ^ 0` whenever the
+//! low bits line up). A batch sweeping seeds `1, 2, 3, …` — exactly
+//! what the scenario engine and the serve layer submit — therefore
+//! reused trial streams between variants, silently correlating studies
+//! that are reported as independent.
+//!
+//! [`mix`] instead walks the splitmix64 sequence: the trial index
+//! strides the state by the golden-gamma constant (the same constant
+//! `selection`'s low-discrepancy corner sampler uses) and the result is
+//! avalanched through the splitmix64 finalizer, so every `(base, t)`
+//! pair lands on an effectively independent stream.
+
+/// The splitmix64 golden-gamma increment (2⁶⁴ / φ, odd).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the RNG stream seed for trial `t` of stream family `base`.
+///
+/// This is splitmix64 output `t` of the generator seeded with `base`:
+/// state `base + (t + 1)·γ` pushed through the finalizer. Unlike the
+/// historical `base ^ t`, nearby bases (consecutive experiment seeds)
+/// and nearby trials never share streams in any realistic sweep.
+#[must_use]
+pub fn mix(base: u64, t: u64) -> u64 {
+    let mut z = base.wrapping_add(t.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn nearby_bases_and_trials_never_share_streams() {
+        // The regression the XOR scheme failed: every (base, trial)
+        // pair in a realistic sweep window must map to a distinct
+        // stream. With `base ^ t`, this set collapses badly (e.g.
+        // base 8 trial 1 == base 9 trial 0).
+        let mut seen = HashSet::new();
+        for base in 0..64u64 {
+            for t in 0..256u64 {
+                assert!(
+                    seen.insert(mix(base, t)),
+                    "stream collision at base {base}, trial {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_scheme_really_did_collide() {
+        // Documents why this module exists: the old derivation shares
+        // streams between adjacent seeds.
+        let old = |base: u64, t: u64| base ^ t;
+        assert_eq!(old(8, 1), old(9, 0));
+        assert_ne!(mix(8, 1), mix(9, 0));
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        assert_eq!(mix(42, 7), mix(42, 7));
+        assert_ne!(mix(42, 7), mix(42, 8));
+        assert_ne!(mix(42, 7), mix(43, 7));
+    }
+}

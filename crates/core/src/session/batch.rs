@@ -116,12 +116,16 @@ pub enum Response {
 impl MtdSession {
     /// Executes a batch of typed requests, fanning across the worker
     /// threads ([`parallel::available_threads`] — the same source every
-    /// inner fan-out reads, so the builder's `threads` knob caps outer
-    /// and inner layers identically). Responses come back in request
-    /// order; each request fails independently, so one infeasible
-    /// variant does not poison the batch.
+    /// inner fan-out reads, and the builder's `threads` knob scopes a
+    /// per-session budget around the whole batch, so outer and inner
+    /// layers are capped identically without touching any process-global
+    /// state). Responses come back in request order; each request fails
+    /// independently, so one infeasible variant does not poison the
+    /// batch.
     pub fn run_batch(&self, requests: &[Request]) -> Vec<Result<Response, MtdError>> {
-        parallel::par_map(requests, |_, request| self.run_request(request))
+        parallel::with_thread_budget(self.threads(), || {
+            parallel::par_map(requests, |_, request| self.run_request(request))
+        })
     }
 
     /// Executes one request against this session (variant overrides run

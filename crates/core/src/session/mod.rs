@@ -188,19 +188,21 @@ impl MtdSessionBuilder {
     }
 
     /// Caps the worker threads for every fan-out layer — batch requests,
-    /// sweeps, multistarts, attack scoring — by applying the
-    /// **process-wide** [`parallel::set_thread_override`] knob at
-    /// [`MtdSessionBuilder::build`]. The override is the single source
-    /// of truth every layer reads, so there is no way for an outer batch
-    /// and an inner multistart to disagree; the flip side is that it is
-    /// genuinely process-global — the last builder to set it wins, it
-    /// outlives the session, and it can be cleared explicitly with
-    /// [`parallel::set_thread_override`]`(None)`. That is the right
-    /// semantics for the CLI (one run per process); a host juggling
-    /// differently-capped workloads in one process should manage the
-    /// override itself instead of using this convenience. Results are
-    /// bit-identical for any worker count; this is purely a resource
-    /// control.
+    /// sweeps, multistarts, attack scoring — **for this session only**.
+    ///
+    /// The cap is applied as a scoped [`parallel::with_thread_budget`]
+    /// around every session entry point, and the budget follows the
+    /// call tree into nested fan-outs, so an outer batch and an inner
+    /// multistart can never disagree. Unlike the process-wide
+    /// [`parallel::set_thread_override`] (which remains available as a
+    /// coarse fallback for single-workload processes, and which this
+    /// builder no longer touches), per-session budgets do not race:
+    /// two sessions built with different `threads(n)` run concurrently
+    /// and each observes exactly its own cap. Precedence, highest
+    /// first: this per-session budget, the process-wide override, the
+    /// `GRIDMTD_THREADS` environment variable, the machine's
+    /// parallelism. Results are bit-identical for any worker count;
+    /// this is purely a resource control.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> MtdSessionBuilder {
         self.threads = Some(threads.max(1));
@@ -226,13 +228,11 @@ impl MtdSessionBuilder {
                 x
             }
         };
-        if self.threads.is_some() {
-            parallel::set_thread_override(self.threads);
-        }
         Ok(MtdSession {
             net: self.net,
             cfg: self.cfg,
             x_pre,
+            threads: self.threads,
             topo: TopoCaches::default(),
             warm: WarmCaches::default(),
             day: None,
@@ -248,6 +248,10 @@ pub struct MtdSession {
     net: Network,
     cfg: MtdConfig,
     x_pre: Vec<f64>,
+    /// Per-session worker budget (see [`MtdSessionBuilder::threads`]);
+    /// applied as a scoped [`parallel::with_thread_budget`] around every
+    /// entry point by [`MtdSession::scoped`].
+    threads: Option<usize>,
     topo: TopoCaches,
     warm: WarmCaches,
     day: Option<DayState>,
@@ -268,6 +272,20 @@ fn get_or_try<T>(
     Ok(lock.get_or_init(|| v))
 }
 
+/// Locks the shared estimator context, shrugging off poison: a worker
+/// that panicked while holding the lock leaves the context exactly as
+/// sound as any other cached symbolic state, because every use
+/// pattern-validates it against the matrix at hand and rebuilds on
+/// mismatch. Propagating the poison instead would turn one caught panic
+/// into a permanent brick — every later request on the session (and, in
+/// a server, every later client sharing the warm session) would panic
+/// at this lock site.
+fn lock_est_ctx(est_ctx: &Mutex<EstimatorContext>) -> std::sync::MutexGuard<'_, EstimatorContext> {
+    est_ctx
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Builds a post-MTD detector through the shared estimator context: the
 /// symbolic state is cloned out of the mutex, the (possibly long)
 /// numeric factorization runs unlocked, and a freshly analyzed symbolic
@@ -277,9 +295,9 @@ pub(crate) fn detector_via(
     h_post: Matrix,
     cfg: &MtdConfig,
 ) -> Result<BadDataDetector, MtdError> {
-    let mut local = est_ctx.lock().expect("estimator context poisoned").clone();
+    let mut local = lock_est_ctx(est_ctx).clone();
     let bdd = effectiveness::detector_from_h_ctx(h_post, cfg, &mut local)?;
-    let mut shared = est_ctx.lock().expect("estimator context poisoned");
+    let mut shared = lock_est_ctx(est_ctx);
     if !shared.has_symbolic() {
         *shared = local;
     }
@@ -312,6 +330,22 @@ impl MtdSession {
     /// knowledge).
     pub fn x_pre(&self) -> &[f64] {
         &self.x_pre
+    }
+
+    /// The per-session worker budget, if one was set at build time
+    /// (see [`MtdSessionBuilder::threads`]).
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Runs `f` under this session's worker budget: every fan-out layer
+    /// reached from inside — batch dispatch, sweeps, multistarts,
+    /// attack-scoring chunks — sizes itself to the budget, and
+    /// concurrent sessions with different budgets never interfere
+    /// (the budget is scoped to the call tree, not process-global).
+    /// A no-op when the builder set no budget.
+    fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
+        parallel::with_thread_budget(self.threads, f)
     }
 
     /// Replaces the pre-perturbation reactances, invalidating every
@@ -376,13 +410,15 @@ impl MtdSession {
     ///
     /// Propagates OPF failures.
     pub fn opf_pre(&self) -> Result<&OpfSolution, MtdError> {
-        get_or_try(&self.warm.opf_pre, || {
-            Ok(solve_opf_with(
-                &self.net,
-                &self.x_pre,
-                &self.cfg.opf_options(),
-                &mut OpfContext::with_pf(self.pf_proto()?.clone()),
-            )?)
+        self.scoped(|| {
+            get_or_try(&self.warm.opf_pre, || {
+                Ok(solve_opf_with(
+                    &self.net,
+                    &self.x_pre,
+                    &self.cfg.opf_options(),
+                    &mut OpfContext::with_pf(self.pf_proto()?.clone()),
+                )?)
+            })
         })
     }
 
@@ -394,18 +430,20 @@ impl MtdSession {
     ///
     /// Propagates model-construction failures.
     pub fn attacks(&self) -> Result<&[FdiAttack], MtdError> {
-        get_or_try(&self.warm.attacks, || {
-            let dispatch = self.opf_pre()?.dispatch.clone();
-            effectiveness::build_attack_set_impl(
-                &self.net,
-                self.h_pre()?,
-                &self.x_pre,
-                &dispatch,
-                &self.cfg,
-                self.pf_proto()?,
-            )
+        self.scoped(|| {
+            get_or_try(&self.warm.attacks, || {
+                let dispatch = self.opf_pre()?.dispatch.clone();
+                effectiveness::build_attack_set_impl(
+                    &self.net,
+                    self.h_pre()?,
+                    &self.x_pre,
+                    &dispatch,
+                    &self.cfg,
+                    self.pf_proto()?,
+                )
+            })
+            .map(Vec::as_slice)
         })
-        .map(Vec::as_slice)
     }
 
     /// The cached no-MTD baseline (problem (1): cost-optimal reactances
@@ -416,10 +454,16 @@ impl MtdSession {
     ///
     /// Propagates OPF failures.
     pub fn baseline(&self) -> Result<&BaselineOutcome, MtdError> {
-        get_or_try(&self.warm.baseline, || {
-            let (x, opf) =
-                selection::baseline_opf_impl(&self.net, &self.x_pre, &self.cfg, self.pf_proto()?)?;
-            Ok(BaselineOutcome { x, opf })
+        self.scoped(|| {
+            get_or_try(&self.warm.baseline, || {
+                let (x, opf) = selection::baseline_opf_impl(
+                    &self.net,
+                    &self.x_pre,
+                    &self.cfg,
+                    self.pf_proto()?,
+                )?;
+                Ok(BaselineOutcome { x, opf })
+            })
         })
     }
 
@@ -430,13 +474,15 @@ impl MtdSession {
     ///
     /// Propagates model failures.
     pub fn max_gamma(&self) -> Result<&(Vec<f64>, f64), MtdError> {
-        get_or_try(&self.warm.ceiling, || {
-            selection::max_achievable_gamma_with(
-                &self.net,
-                &self.x_pre,
-                self.gamma_basis()?,
-                &self.cfg,
-            )
+        self.scoped(|| {
+            get_or_try(&self.warm.ceiling, || {
+                selection::max_achievable_gamma_with(
+                    &self.net,
+                    &self.x_pre,
+                    self.gamma_basis()?,
+                    &self.cfg,
+                )
+            })
         })
     }
 
@@ -474,15 +520,17 @@ impl MtdSession {
     ///
     /// See [`selection::select_mtd`].
     pub fn select(&self, gamma_threshold: f64) -> Result<MtdSelection, MtdError> {
-        selection::select_mtd_impl(
-            &self.net,
-            &self.x_pre,
-            self.h_pre()?,
-            self.gamma_basis()?,
-            gamma_threshold,
-            &self.cfg,
-            self.pf_proto()?,
-        )
+        self.scoped(|| {
+            selection::select_mtd_impl(
+                &self.net,
+                &self.x_pre,
+                self.h_pre()?,
+                self.gamma_basis()?,
+                gamma_threshold,
+                &self.cfg,
+                self.pf_proto()?,
+            )
+        })
     }
 
     /// Scores a perturbation `x_pre → x_post` against the session's
@@ -492,8 +540,10 @@ impl MtdSession {
     ///
     /// Propagates model-construction failures.
     pub fn evaluate(&self, x_post: &[f64]) -> Result<MtdEvaluation, MtdError> {
-        let attacks = self.attacks()?;
-        self.evaluate_against(&self.net, x_post, attacks)
+        self.scoped(|| {
+            let attacks = self.attacks()?;
+            self.evaluate_against(&self.net, x_post, attacks)
+        })
     }
 
     /// [`MtdSession::evaluate`] against an explicit ensemble and network
@@ -525,9 +575,11 @@ impl MtdSession {
     ///
     /// Propagates model-construction failures.
     pub fn detection_probabilities(&self, x_post: &[f64]) -> Result<Vec<f64>, MtdError> {
-        let attacks = self.attacks()?;
-        let bdd = self.detector(self.net.measurement_matrix(x_post)?)?;
-        effectiveness::detection_probabilities_parallel(&bdd, attacks)
+        self.scoped(|| {
+            let attacks = self.attacks()?;
+            let bdd = self.detector(self.net.measurement_matrix(x_post)?)?;
+            effectiveness::detection_probabilities_parallel(&bdd, attacks)
+        })
     }
 
     /// Sweeps the effectiveness-vs-cost tradeoff curve (Figs. 6 and 9)
@@ -539,6 +591,14 @@ impl MtdSession {
     ///
     /// Propagates selection/OPF failures.
     pub fn tradeoff_sweep(
+        &self,
+        gamma_thresholds: &[f64],
+        deltas: &[f64],
+    ) -> Result<TradeoffCurve, MtdError> {
+        self.scoped(|| self.tradeoff_sweep_inner(gamma_thresholds, deltas))
+    }
+
+    fn tradeoff_sweep_inner(
         &self,
         gamma_thresholds: &[f64],
         deltas: &[f64],
@@ -608,9 +668,11 @@ impl MtdSession {
     }
 
     /// [`MtdSession::keyspace_study`] against an explicit ensemble
-    /// (trial `t` draws its perturbation from a stream seeded
-    /// `(seed + 0xfeed) ⊕ t`, so the study is a pure function of its
-    /// arguments for any worker count).
+    /// (trial `t` draws its perturbation from a stream derived by
+    /// [`crate::seedstream::mix`]`(seed + 0xfeed, t)`, so the study is a
+    /// pure function of its arguments for any worker count and trial
+    /// streams never collide between nearby seeds — the variant axes a
+    /// batch sweeps).
     ///
     /// # Errors
     ///
@@ -622,12 +684,22 @@ impl MtdSession {
         n_trials: usize,
         deltas: &[f64],
     ) -> Result<Vec<RandomTrial>, MtdError> {
+        self.scoped(|| self.keyspace_study_inner(attacks, fraction, n_trials, deltas))
+    }
+
+    fn keyspace_study_inner(
+        &self,
+        attacks: &[FdiAttack],
+        fraction: f64,
+        n_trials: usize,
+        deltas: &[f64],
+    ) -> Result<Vec<RandomTrial>, MtdError> {
         let base = self.cfg.seed.wrapping_add(0xfeed);
         let h_pre = self.h_pre()?;
         let basis = self.gamma_basis()?;
         let trial_ids: Vec<u64> = (0..n_trials as u64).collect();
         parallel::par_map(&trial_ids, |_, &t| {
-            let mut rng = StdRng::seed_from_u64(base ^ t);
+            let mut rng = StdRng::seed_from_u64(crate::seedstream::mix(base, t));
             let x_post = selection::random_perturbation(&self.net, &self.x_pre, fraction, &mut rng);
             let h_post = self.net.measurement_matrix(&x_post)?;
             let gamma = basis.gamma_to(&h_post)?;
@@ -667,14 +739,16 @@ impl MtdSession {
         x_post: &[f64],
         opts: &LearningOptions,
     ) -> Result<Vec<LearningPoint>, MtdError> {
-        learning::attacker_learning_study_impl(
-            &self.net,
-            x_post,
-            opts,
-            &self.cfg,
-            self.pf_proto()?,
-            &self.topo.est_ctx,
-        )
+        self.scoped(|| {
+            learning::attacker_learning_study_impl(
+                &self.net,
+                x_post,
+                opts,
+                &self.cfg,
+                self.pf_proto()?,
+                &self.topo.est_ctx,
+            )
+        })
     }
 
     /// The full relearning flow: optionally select a perturbation for
@@ -729,6 +803,7 @@ impl MtdSession {
     /// Panics if `trace` is empty.
     pub fn begin_day(&mut self, trace: &LoadTrace, opts: &TimelineOptions) -> Result<(), MtdError> {
         assert!(!trace.is_empty(), "timeline trace must be non-empty");
+        let budget = self.threads;
         let nominal_total = self.net.total_load();
         let n_hours = trace.len();
         let mut x_prev = selection::spread_pre_perturbation(&self.net, self.cfg.eta_max);
@@ -736,8 +811,9 @@ impl MtdSession {
             let net_prev = self
                 .net
                 .scale_loads(trace.scaling_factor(n_hours - 1, nominal_total));
-            let (x, _) =
-                selection::baseline_opf_impl(&net_prev, &x_prev, &self.cfg, self.pf_proto()?)?;
+            let (x, _) = parallel::with_thread_budget(budget, || {
+                selection::baseline_opf_impl(&net_prev, &x_prev, &self.cfg, self.pf_proto()?)
+            })?;
             x_prev = x;
         }
         self.set_x_pre(x_prev);
@@ -766,124 +842,123 @@ impl MtdSession {
     ///
     /// # Errors
     ///
+    /// [`MtdError::DayNotStarted`] without a day in progress
+    /// ([`MtdSession::begin_day`]) — a typed error, not a panic, so a
+    /// misrouted service request cannot abort a server worker.
     /// Propagates OPF/selection failures, and [`MtdError::Infeasible`]
     /// if even the smallest grid threshold is unreachable. Hours where
     /// the largest reachable `γ_th` misses the effectiveness target are
     /// reported with `target_met = false` rather than failing.
-    ///
-    /// # Panics
-    ///
-    /// Panics without a day in progress ([`MtdSession::begin_day`]).
     pub fn step_hour(&mut self) -> Result<HourOutcome, MtdError> {
-        let day = self
-            .day
-            .clone()
-            .expect("step_hour requires begin_day first");
+        let day = self.day.clone().ok_or(MtdError::DayNotStarted)?;
+        let budget = self.threads;
         let hour = day.hour;
-        assert!(
+        debug_assert!(
             hour < day.trace.len(),
-            "the armed day is complete ({} hours)",
-            day.trace.len()
+            "an armed day always has hours left (it is disarmed on its last step)"
         );
         let net_now = self
             .net
             .scale_loads(day.trace.scaling_factor(hour, day.nominal_total));
 
-        // 1. No-MTD OPF for this hour (warm start from previous hour).
-        let (x_now, opf_now) =
-            selection::baseline_opf_impl(&net_now, &self.x_pre, &self.cfg, self.pf_proto()?)?;
+        let (x_now, outcome) = parallel::with_thread_budget(budget, || {
+            // 1. No-MTD OPF for this hour (warm start from previous hour).
+            let (x_now, opf_now) =
+                selection::baseline_opf_impl(&net_now, &self.x_pre, &self.cfg, self.pf_proto()?)?;
 
-        let outcome = {
-            // 2. Attacker's knowledge: last hour's matrix — exactly the
-            // session's cached `H(x_pre)`/basis, built once per hour and
-            // shared by the ensemble, every γ-grid candidate's selection
-            // and the effectiveness evaluations.
-            let h_stale = self.h_pre()?;
-            let stale_basis = self.gamma_basis()?;
-            let h_now = self.net.measurement_matrix(&x_now)?;
+            let outcome = {
+                // 2. Attacker's knowledge: last hour's matrix — exactly the
+                // session's cached `H(x_pre)`/basis, built once per hour and
+                // shared by the ensemble, every γ-grid candidate's selection
+                // and the effectiveness evaluations.
+                let h_stale = self.h_pre()?;
+                let stale_basis = self.gamma_basis()?;
+                let h_now = self.net.measurement_matrix(&x_now)?;
 
-            // Attack ensemble against the stale matrix, scaled by the
-            // stale operating point (what the attacker eavesdropped).
-            let opf_prev_dispatch = {
-                let prev_hour = if hour == 0 {
-                    day.trace.len() - 1
-                } else {
-                    hour - 1
+                // Attack ensemble against the stale matrix, scaled by the
+                // stale operating point (what the attacker eavesdropped).
+                let opf_prev_dispatch = {
+                    let prev_hour = if hour == 0 {
+                        day.trace.len() - 1
+                    } else {
+                        hour - 1
+                    };
+                    let net_prev = self
+                        .net
+                        .scale_loads(day.trace.scaling_factor(prev_hour, day.nominal_total));
+                    solve_opf_with(
+                        &net_prev,
+                        &self.x_pre,
+                        &self.cfg.opf_options(),
+                        &mut OpfContext::with_pf(self.pf_proto()?.clone()),
+                    )?
+                    .dispatch
                 };
-                let net_prev = self
-                    .net
-                    .scale_loads(day.trace.scaling_factor(prev_hour, day.nominal_total));
-                solve_opf_with(
-                    &net_prev,
+                let attacks = effectiveness::build_attack_set_impl(
+                    &net_now,
+                    h_stale,
                     &self.x_pre,
-                    &self.cfg.opf_options(),
-                    &mut OpfContext::with_pf(self.pf_proto()?.clone()),
-                )?
-                .dispatch
-            };
-            let attacks = effectiveness::build_attack_set_impl(
-                &net_now,
-                h_stale,
-                &self.x_pre,
-                &opf_prev_dispatch,
-                &self.cfg,
-                self.pf_proto()?,
-            )?;
+                    &opf_prev_dispatch,
+                    &self.cfg,
+                    self.pf_proto()?,
+                )?;
 
-            // 3. Tune γ_th on the grid. Candidates are evaluated
-            // speculatively in worker-sized chunks and the serial
-            // early-exit rule is replayed over the ordered results, so
-            // the outcome (including which errors can surface) is
-            // exactly the serial tuner's.
-            let lookahead = parallel::available_threads().max(1);
-            let mut chosen: Option<(f64, MtdSelection, f64)> = None;
-            'grid: for candidates in day.opts.gamma_grid.chunks(lookahead) {
-                let evaluations: Vec<Result<(MtdSelection, f64), MtdError>> =
-                    parallel::par_map(candidates, |_, &gamma_th| {
-                        let sel = selection::select_mtd_impl(
-                            &net_now,
-                            &self.x_pre,
-                            h_stale,
-                            stale_basis,
-                            gamma_th,
-                            &self.cfg,
-                            self.pf_proto()?,
-                        )?;
-                        let eval = self.evaluate_against(&net_now, &sel.x_post, &attacks)?;
-                        let eta = eval.effectiveness(day.opts.target_delta);
-                        Ok((sel, eta))
-                    });
-                for (&gamma_th, evaluation) in candidates.iter().zip(evaluations) {
-                    match evaluation {
-                        Ok((sel, eta)) => {
-                            let met = eta >= day.opts.target_eta;
-                            chosen = Some((gamma_th, sel, eta));
-                            if met {
-                                break 'grid;
+                // 3. Tune γ_th on the grid. Candidates are evaluated
+                // speculatively in worker-sized chunks and the serial
+                // early-exit rule is replayed over the ordered results, so
+                // the outcome (including which errors can surface) is
+                // exactly the serial tuner's.
+                let lookahead = parallel::available_threads().max(1);
+                let mut chosen: Option<(f64, MtdSelection, f64)> = None;
+                'grid: for candidates in day.opts.gamma_grid.chunks(lookahead) {
+                    let evaluations: Vec<Result<(MtdSelection, f64), MtdError>> =
+                        parallel::par_map(candidates, |_, &gamma_th| {
+                            let sel = selection::select_mtd_impl(
+                                &net_now,
+                                &self.x_pre,
+                                h_stale,
+                                stale_basis,
+                                gamma_th,
+                                &self.cfg,
+                                self.pf_proto()?,
+                            )?;
+                            let eval = self.evaluate_against(&net_now, &sel.x_post, &attacks)?;
+                            let eta = eval.effectiveness(day.opts.target_delta);
+                            Ok((sel, eta))
+                        });
+                    for (&gamma_th, evaluation) in candidates.iter().zip(evaluations) {
+                        match evaluation {
+                            Ok((sel, eta)) => {
+                                let met = eta >= day.opts.target_eta;
+                                chosen = Some((gamma_th, sel, eta));
+                                if met {
+                                    break 'grid;
+                                }
                             }
+                            Err(MtdError::ThresholdUnreachable { .. }) => break 'grid,
+                            Err(e) => return Err(e),
                         }
-                        Err(MtdError::ThresholdUnreachable { .. }) => break 'grid,
-                        Err(e) => return Err(e),
                     }
                 }
-            }
-            let (gamma_threshold, sel, eta) = chosen.ok_or(MtdError::Infeasible)?;
+                let (gamma_threshold, sel, eta) = chosen.ok_or(MtdError::Infeasible)?;
 
-            let h_post = self.net.measurement_matrix(&sel.x_post)?;
-            HourOutcome {
-                hour,
-                total_load_mw: net_now.total_load(),
-                cost_no_mtd: opf_now.cost,
-                cost_with_mtd: sel.opf.cost,
-                cost_increase_percent: cost::cost_increase_percent(opf_now.cost, sel.opf.cost),
-                gamma_drift: stale_basis.gamma_to(&h_now)?,
-                gamma_defense: stale_basis.gamma_to(&h_post)?,
-                gamma_current: spa::gamma(&h_now, &h_post)?,
-                gamma_threshold,
-                effectiveness: eta,
-                target_met: eta >= day.opts.target_eta,
-            }
-        };
+                let h_post = self.net.measurement_matrix(&sel.x_post)?;
+                HourOutcome {
+                    hour,
+                    total_load_mw: net_now.total_load(),
+                    cost_no_mtd: opf_now.cost,
+                    cost_with_mtd: sel.opf.cost,
+                    cost_increase_percent: cost::cost_increase_percent(opf_now.cost, sel.opf.cost),
+                    gamma_drift: stale_basis.gamma_to(&h_now)?,
+                    gamma_defense: stale_basis.gamma_to(&h_post)?,
+                    gamma_current: spa::gamma(&h_now, &h_post)?,
+                    gamma_threshold,
+                    effectiveness: eta,
+                    target_met: eta >= day.opts.target_eta,
+                }
+            };
+            Ok::<_, MtdError>((x_now, outcome))
+        })?;
 
         // 4. Advance the attacker's knowledge to this hour's no-MTD
         // reactances (invalidates the `x_pre`-keyed caches; the
@@ -936,6 +1011,7 @@ impl MtdSession {
             net: self.net.clone(),
             cfg,
             x_pre: self.x_pre.clone(),
+            threads: self.threads,
             topo: self.topo.clone(),
             warm: WarmCaches {
                 h_pre: Arc::clone(&self.warm.h_pre),
@@ -1004,6 +1080,136 @@ mod tests {
         let x_now = s.x_pre().to_vec();
         s.set_x_pre(x_now);
         assert_eq!(s.h_pre().unwrap() as *const Matrix, addr_before);
+    }
+
+    #[test]
+    fn caught_panic_does_not_brick_the_session() {
+        // A worker that panics while holding the estimator-context lock
+        // poisons the mutex. A daemon catches such panics and keeps
+        // serving; the session must shrug the poison off (the context
+        // is pattern-validated per use, so a poisoned clone is safe)
+        // instead of turning every later request into a panic cascade.
+        let s = MtdSession::builder(cases::case4())
+            .config(MtdConfig {
+                n_attacks: 20,
+                n_starts: 1,
+                max_evals_per_start: 30,
+                ..MtdConfig::default()
+            })
+            .build()
+            .unwrap();
+        let before = s.evaluate(s.x_pre()).unwrap();
+
+        // Simulate the mid-batch panic: grab the shared lock on another
+        // thread and unwind while holding it.
+        let est_ctx = Arc::clone(&s.topo.est_ctx);
+        let caught = std::thread::spawn(move || {
+            let _guard = est_ctx.lock().unwrap();
+            panic!("worker panic while holding the estimator context");
+        })
+        .join();
+        assert!(caught.is_err(), "the helper thread must have panicked");
+        assert!(s.topo.est_ctx.is_poisoned(), "the mutex must be poisoned");
+
+        // Every later request still works, through the same lock sites,
+        // and produces the same bits as before the poisoning.
+        let after = s.evaluate(s.x_pre()).unwrap();
+        assert_eq!(before, after);
+        let batch = s.run_batch(&[batch::Request::Evaluate {
+            x_post: s.x_pre().to_vec(),
+        }]);
+        assert!(batch[0].is_ok(), "batch path must also survive: {batch:?}");
+    }
+
+    #[test]
+    fn step_hour_without_begin_day_is_a_typed_error() {
+        let mut s = MtdSession::builder(cases::case4())
+            .config(MtdConfig::fast_test())
+            .build()
+            .unwrap();
+        assert_eq!(s.step_hour().unwrap_err(), MtdError::DayNotStarted);
+        // A finished day disarms the session: stepping past the end is
+        // the same typed error, not a panic.
+        let trace = gridmtd_traces::LoadTrace::new(vec![100.0]);
+        let opts = TimelineOptions {
+            gamma_grid: vec![0.01],
+            ..TimelineOptions::default()
+        };
+        s.begin_day(&trace, &opts).unwrap();
+        while s.hours_remaining() > 0 {
+            s.step_hour().unwrap();
+        }
+        assert_eq!(s.step_hour().unwrap_err(), MtdError::DayNotStarted);
+    }
+
+    #[test]
+    fn adjacent_seed_keyspace_studies_share_no_trial_streams() {
+        // The historical XOR stream derivation reused trial streams
+        // between adjacent seeds: with base = seed + 0xfeed, trial 1 of
+        // seed 2 equalled trial 0 of seed 3 ((2+0xfeed)^1 == (3+0xfeed)^0),
+        // so the "independent" keyspace variants of a batch sweep drew
+        // identical perturbations. Pin that no trial of seed 2 matches
+        // any trial of seed 3.
+        let study = |seed: u64| {
+            let s = MtdSession::builder(cases::case4())
+                .config(MtdConfig {
+                    n_attacks: 20,
+                    seed,
+                    ..MtdConfig::default()
+                })
+                .build()
+                .unwrap();
+            s.keyspace_study(0.05, 6, &[0.9]).unwrap()
+        };
+        let a = study(2);
+        let b = study(3);
+        for ta in &a {
+            for tb in &b {
+                assert_ne!(
+                    ta.gamma.to_bits(),
+                    tb.gamma.to_bits(),
+                    "seed 2 trial {} and seed 3 trial {} drew the same stream",
+                    ta.trial,
+                    tb.trial
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_session_thread_budgets_do_not_race() {
+        // Two sessions with different `threads(n)` caps, driven
+        // concurrently, must produce bit-identical results to their
+        // serial selves and leave the process-global override untouched
+        // (the historical builder set the global, so the last builder
+        // won for both sessions).
+        let build = |threads: usize| {
+            MtdSession::builder(cases::case14())
+                .config(MtdConfig {
+                    n_attacks: 30,
+                    n_starts: 1,
+                    max_evals_per_start: 40,
+                    ..MtdConfig::default()
+                })
+                .threads(threads)
+                .build()
+                .unwrap()
+        };
+        let reference = build(1).select(0.01).unwrap();
+        let s1 = build(1);
+        let s4 = build(4);
+        assert_eq!(
+            parallel::thread_override(),
+            None,
+            "builder must not touch the global"
+        );
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| s1.select(0.01).unwrap());
+            let b = scope.spawn(|| s4.select(0.01).unwrap());
+            assert_eq!(a.join().unwrap(), reference);
+            assert_eq!(b.join().unwrap(), reference);
+        });
+        assert_eq!(parallel::thread_override(), None);
     }
 
     #[test]

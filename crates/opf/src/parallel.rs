@@ -9,13 +9,27 @@
 //! streams (seeded by index, never shared) this gives the workspace its
 //! determinism contract: parallel output is bit-identical to serial.
 //!
-//! The worker count comes from [`available_threads`]: the
-//! `GRIDMTD_THREADS` environment variable when set, otherwise
-//! [`std::thread::available_parallelism`]. Nested fan-outs (a parallel
-//! threshold sweep whose inner multistart also fans out) are allowed;
-//! they briefly oversubscribe the machine but never deadlock, since
-//! every layer spawns plain scoped threads.
+//! The worker count comes from [`available_threads`], which resolves
+//! (highest precedence first):
+//!
+//! 1. the **scoped, per-call budget** ([`with_thread_budget`]) — what
+//!    `MtdSession` applies around every entry point, so two sessions
+//!    with different `threads(n)` settings can run concurrently in one
+//!    process without racing each other;
+//! 2. the **process-wide override** ([`set_thread_override`]) — a
+//!    last-writer-wins global kept as the coarse fallback for
+//!    single-workload hosts (one `gridmtd run` per process);
+//! 3. the `GRIDMTD_THREADS` environment variable;
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! The scoped budget is carried in a thread-local that [`par_map`]
+//! re-establishes inside every worker it spawns, so nested fan-outs (a
+//! parallel threshold sweep whose inner multistart also fans out)
+//! inherit the budget of the call that spawned them. Nested fan-outs
+//! briefly oversubscribe the machine but never deadlock, since every
+//! layer spawns plain scoped threads.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -24,16 +38,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// [`available_threads`].
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    /// Scoped per-call worker budget (0 = unset). Established by
+    /// [`with_thread_budget`] and re-established inside every [`par_map`]
+    /// worker, so it follows the call tree across fan-out layers.
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
 /// Sets (or with `None` clears) the process-wide worker-count override.
 ///
 /// The override beats the `GRIDMTD_THREADS` environment variable and the
 /// machine's parallelism, and reaches **every** fan-out layer — outer
 /// batch requests, inner multistarts, attack-scoring chunks — because
-/// they all size themselves through [`available_threads`]. This is the
-/// single knob behind `MtdSession::builder().threads(n)` and
-/// `gridmtd run --threads`. Results are bit-identical for any worker
-/// count (the workspace determinism contract), so the override is purely
-/// a resource-usage control.
+/// they all size themselves through [`available_threads`]. It is
+/// genuinely process-global (last writer wins), which is the right
+/// semantics for a single-workload process such as one `gridmtd run`;
+/// hosts juggling differently-capped workloads concurrently — the
+/// `gridmtd serve` worker pool above all — should use the scoped
+/// [`with_thread_budget`] instead, which takes precedence over this
+/// override. Results are bit-identical for any worker count (the
+/// workspace determinism contract), so both knobs are purely resource
+/// controls.
 pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::Relaxed);
 }
@@ -46,10 +71,51 @@ pub fn thread_override() -> Option<usize> {
     }
 }
 
-/// Worker count used by [`par_map`]: the [`set_thread_override`] value
-/// if set, else `GRIDMTD_THREADS` (minimum 1), else the machine's
-/// available parallelism.
+/// The scoped per-call worker budget in force on this thread, if any.
+pub fn thread_budget() -> Option<usize> {
+    match THREAD_BUDGET.with(Cell::get) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Runs `f` under a scoped worker budget: for the duration of the call
+/// (including every nested [`par_map`] fan-out it performs, on this
+/// thread or on workers those fan-outs spawn), [`available_threads`]
+/// returns `budget`. `None` leaves whatever budget is already in force
+/// untouched, so wrappers can apply an optional cap unconditionally.
+///
+/// This is the race-free alternative to [`set_thread_override`]: two
+/// threads can run differently-budgeted scopes concurrently and each
+/// fan-out sees exactly the budget of the call tree it belongs to.
+pub fn with_thread_budget<R>(budget: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match budget {
+        None => f(),
+        Some(n) => {
+            let previous = THREAD_BUDGET.with(|b| b.replace(n.max(1)));
+            // Restore on every exit path (including unwinds) so a
+            // panicking workload cannot leak its budget into unrelated
+            // work later scheduled on this thread.
+            struct Restore(usize);
+            impl Drop for Restore {
+                fn drop(&mut self) {
+                    THREAD_BUDGET.with(|b| b.set(self.0));
+                }
+            }
+            let _restore = Restore(previous);
+            f()
+        }
+    }
+}
+
+/// Worker count used by [`par_map`]: the scoped [`with_thread_budget`]
+/// value if one is in force on this thread, else the process-wide
+/// [`set_thread_override`] value, else `GRIDMTD_THREADS` (minimum 1),
+/// else the machine's available parallelism.
 pub fn available_threads() -> usize {
+    if let Some(n) = thread_budget() {
+        return n;
+    }
     if let Some(n) = thread_override() {
         return n;
     }
@@ -114,21 +180,27 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // Workers are fresh OS threads, so the caller's scoped budget must
+    // be re-established inside each one for nested fan-outs to inherit
+    // it (precedence is documented on `available_threads`).
+    let budget = thread_budget();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut produced: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                    with_thread_budget(budget, || {
+                        let mut produced: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            produced.push((i, f(i, &items[i])));
                         }
-                        produced.push((i, f(i, &items[i])));
-                    }
-                    produced
+                        produced
+                    })
                 })
             })
             .collect();
@@ -205,6 +277,73 @@ mod tests {
         );
         let reference: Vec<usize> = items.iter().map(|&v| v * 10 + v).collect();
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn scoped_budget_beats_global_and_restores() {
+        // The scoped budget wins inside the scope and disappears after
+        // it, leaving the (unset) global precedence chain untouched.
+        assert_eq!(thread_budget(), None);
+        let inside = with_thread_budget(Some(3), || (available_threads(), thread_budget()));
+        assert_eq!(inside, (3, Some(3)));
+        assert_eq!(thread_budget(), None);
+        // `None` inherits the surrounding budget instead of clearing it.
+        let nested = with_thread_budget(Some(2), || with_thread_budget(None, available_threads));
+        assert_eq!(nested, 2);
+    }
+
+    #[test]
+    fn scoped_budget_restores_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_budget(Some(5), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(thread_budget(), None);
+    }
+
+    #[test]
+    fn scoped_budget_propagates_into_nested_workers() {
+        // Every worker of an outer fan-out (and of a fan-out nested
+        // inside it) must observe the scope's budget, even though
+        // workers are fresh OS threads.
+        let items: Vec<usize> = (0..8).collect();
+        let observed = with_thread_budget(Some(2), || {
+            par_map(&items, |_, _| {
+                let inner: Vec<usize> = (0..4).collect();
+                let nested = par_map(&inner, |_, _| available_threads());
+                (available_threads(), nested)
+            })
+        });
+        for (outer, nested) in observed {
+            assert_eq!(outer, 2);
+            assert!(nested.iter().all(|&n| n == 2));
+        }
+    }
+
+    #[test]
+    fn concurrent_scopes_keep_independent_budgets() {
+        // The historical global override raced: two workloads built
+        // with different `threads(n)` caps made the last writer win for
+        // both. Scoped budgets are per call tree — each concurrent
+        // scope observes exactly its own cap, and the global override
+        // is never touched.
+        let barrier = std::sync::Barrier::new(2);
+        let items: Vec<usize> = (0..16).collect();
+        let observe = |budget: usize| {
+            barrier.wait();
+            with_thread_budget(Some(budget), || par_map(&items, |_, _| available_threads()))
+        };
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| observe(1));
+            let b = scope.spawn(|| observe(4));
+            assert!(a.join().unwrap().iter().all(|&n| n == 1));
+            assert!(b.join().unwrap().iter().all(|&n| n == 4));
+        });
+        assert_eq!(
+            thread_override(),
+            None,
+            "scoped budgets must not touch the global"
+        );
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! A minimal blocking client for the line protocol — enough for the
+//! CLI's `loadtest`, the test suite, and scripted callers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gridmtd_scenario::json::Json;
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connects.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the connect fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Sends one raw frame line (no newline) and returns the raw
+    /// response line. The server answers frames on one connection in
+    /// the order their responses complete, so interleaved pipelining
+    /// must correlate by `id`; this helper is strictly call/response.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on socket failure or a server-side
+    /// disconnect.
+    pub fn call_raw(&mut self, frame: &str) -> std::io::Result<String> {
+        self.send_raw(frame)?;
+        self.read_line()
+    }
+
+    /// Sends a frame without waiting (for pipelined workloads).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on socket failure.
+    pub fn send_raw(&mut self, frame: &str) -> std::io::Result<()> {
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`]; a clean peer close surfaces as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Builds and sends a method call, returning the raw response
+    /// line. `session` and `params` may be [`Json::Null`] to omit.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on socket failure.
+    pub fn call(&mut self, method: &str, session: &Json, params: &Json) -> std::io::Result<String> {
+        let frame = self.request_frame(method, session, params);
+        self.call_raw(&frame)
+    }
+
+    /// Renders a request frame with a fresh auto-incremented id.
+    pub fn request_frame(&mut self, method: &str, session: &Json, params: &Json) -> String {
+        self.next_id += 1;
+        let mut fields = vec![
+            ("id".to_string(), Json::Int(self.next_id)),
+            ("method".to_string(), Json::Str(method.to_string())),
+        ];
+        if !matches!(session, Json::Null) {
+            fields.push(("session".to_string(), session.clone()));
+        }
+        if !matches!(params, Json::Null) {
+            fields.push(("params".to_string(), params.clone()));
+        }
+        Json::Obj(fields).compact()
+    }
+}

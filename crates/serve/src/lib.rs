@@ -1,0 +1,62 @@
+//! # gridmtd-serve — the MTD pipeline as a network daemon
+//!
+//! A threaded TCP server speaking line-delimited JSON-RPC over
+//! `std::net` — no external dependencies — that exposes the full
+//! [`MtdSession`](gridmtd_core::MtdSession) pipeline to non-Rust
+//! clients and long-lived deployments:
+//!
+//! - **[`wire`]** — the protocol: one JSON frame per line, methods
+//!   mapping 1:1 onto the typed
+//!   [`batch::Request`](gridmtd_core::session::batch::Request) layer,
+//!   JSON-RPC error codes for every failure class.
+//! - **[`session_key`]** — session specs (`case` + config overrides +
+//!   `x_pre` + per-session thread budget) and their canonical cache
+//!   keys.
+//! - **[`lru`]** — the warm-session LRU: requests naming the same
+//!   resolved spec share one live session, and therefore one set of
+//!   symbolic factorizations, QR bases, and attack ensembles.
+//! - **[`server`]** — accept/reader/writer/worker thread anatomy with
+//!   same-session request coalescing into single `run_batch` calls.
+//! - **[`client`]** / **[`loadtest`]** — a minimal blocking client and
+//!   the replay driver behind `gridmtd loadtest`.
+//!
+//! Responses are **bit-identical** to direct in-process session calls:
+//! both render through the deterministic
+//! [`Json`](gridmtd_scenario::json::Json) writer, and the batch layer
+//! is pinned to match per-request execution for any worker count. The
+//! daemon-proofing the server leans on lives in the core crates:
+//! poisoned estimator-context locks recover instead of cascading,
+//! `step_hour` misuse is a typed error, and thread budgets are scoped
+//! per session rather than process-global.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use gridmtd_serve::{Client, ServeOptions, Server};
+//! use gridmtd_scenario::json::Json;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut server = Server::start(&ServeOptions::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let session = Json::parse(r#"{"case":"case14"}"#).unwrap();
+//! let params = Json::parse(r#"{"gamma_threshold":0.05}"#).unwrap();
+//! let response = client.call("select", &session, &params)?;
+//! println!("{response}");
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod loadtest;
+pub mod lru;
+pub mod server;
+pub mod session_key;
+pub mod wire;
+
+pub use client::Client;
+pub use loadtest::{run as run_loadtest, LoadtestOptions, LoadtestReport};
+pub use lru::{LruStats, SessionLru};
+pub use server::{ServeOptions, Server, ServerStats};
+pub use session_key::SessionSpec;
+pub use wire::WireError;

@@ -1,0 +1,263 @@
+//! The `loadtest` replay driver: hammer a server with concurrent
+//! clients and report latency percentiles and throughput.
+//!
+//! The workload is deterministic and exercises the real pipeline: each
+//! client fetches the session baseline once (warming the shared
+//! session on first contact), then issues `evaluate` calls whose
+//! perturbations cycle through a fixed set of scalings of the
+//! baseline reactances — every request does fresh measurement-matrix
+//! and detection-probability work against the warm caches.
+//!
+//! With `GRIDMTD_BENCH_JSON` set, the report appends a snapshot row
+//! per the bench contract (`{"bench":"serve_loadtest/<case>",
+//! "mean_ns":…,"iters":…}`), so `bench_gate` can compare runs against
+//! a committed baseline.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use gridmtd_scenario::json::Json;
+
+use crate::client::Client;
+use crate::server::{ServeOptions, Server, ServerStats};
+
+/// Loadtest configuration.
+#[derive(Debug, Clone)]
+pub struct LoadtestOptions {
+    /// Case the session spec names.
+    pub case: String,
+    /// Config overrides forwarded in the session spec (compact JSON
+    /// object; empty = defaults).
+    pub config: Json,
+    /// Total `evaluate` requests across all clients.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Address of a running server, or `None` to self-host one for
+    /// the duration of the run.
+    pub spawn: Option<ServeOptions>,
+    /// Address used when `spawn` is `None`.
+    pub addr: String,
+}
+
+impl Default for LoadtestOptions {
+    fn default() -> LoadtestOptions {
+        LoadtestOptions {
+            case: "case4".to_string(),
+            config: Json::Obj(vec![]),
+            requests: 64,
+            clients: 4,
+            spawn: Some(ServeOptions::default()),
+            addr: String::new(),
+        }
+    }
+}
+
+/// Results of a loadtest run.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Requests that returned a `result`.
+    pub ok: usize,
+    /// Requests that returned an `error`.
+    pub errors: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Median request latency.
+    pub p50: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+    /// Mean request latency.
+    pub mean: Duration,
+    /// Requests per second over the run.
+    pub throughput_rps: f64,
+    /// Server statistics after the run (self-hosted runs only).
+    pub server_stats: Option<ServerStats>,
+}
+
+impl LoadtestReport {
+    /// Human-readable multi-line summary.
+    pub fn render(&self, case: &str) -> String {
+        let mut out = format!(
+            "loadtest {case}: {} ok, {} errors in {:.2}s\n  p50 {:.2} ms, p99 {:.2} ms, mean {:.2} ms, {:.1} req/s\n",
+            self.ok,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            ms(self.p50),
+            ms(self.p99),
+            ms(self.mean),
+            self.throughput_rps,
+        );
+        if let Some(stats) = &self.server_stats {
+            out.push_str(&format!(
+                "  lru: {} hits / {} misses / {} evictions; {} batches for {} requests ({} coalesced)\n",
+                stats.lru.hits,
+                stats.lru.misses,
+                stats.lru.evictions,
+                stats.batches,
+                stats.requests,
+                stats.coalesced,
+            ));
+        }
+        out
+    }
+
+    /// Appends the snapshot row to `GRIDMTD_BENCH_JSON` when set.
+    pub fn append_bench_row(&self, case: &str) {
+        let Ok(path) = std::env::var("GRIDMTD_BENCH_JSON") else {
+            return;
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let mean_ns = self.mean.as_nanos() as f64;
+        let iters = self.ok + self.errors;
+        let line = format!(
+            "{{\"bench\":\"serve_loadtest/{case}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}\n"
+        );
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("warning: could not append to {path}: {e}");
+        }
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Runs the loadtest.
+///
+/// # Errors
+///
+/// [`std::io::Error`] when the server cannot be spawned or reached, a
+/// client connection fails, or the baseline warm-up call errors.
+pub fn run(opts: &LoadtestOptions) -> std::io::Result<LoadtestReport> {
+    let server = match &opts.spawn {
+        Some(serve_opts) => Some(Server::start(serve_opts)?),
+        None => None,
+    };
+    let addr = server
+        .as_ref()
+        .map_or_else(|| opts.addr.clone(), |s| s.local_addr().to_string());
+
+    let session = Json::obj(vec![
+        ("case", Json::Str(opts.case.clone())),
+        ("config", opts.config.clone()),
+    ]);
+
+    // Warm the shared session and learn the reactance vector the
+    // evaluate workload perturbs.
+    let baseline = {
+        let mut client = Client::connect(&addr)?;
+        let line = client.call("baseline", &session, &Json::Null)?;
+        let doc = Json::parse(&line).map_err(invalid)?;
+        if let Some(err) = doc.get("error") {
+            return Err(invalid(format!("baseline failed: {}", err.compact())));
+        }
+        doc.get("result")
+            .and_then(|r| r.get("x"))
+            .and_then(Json::as_arr)
+            .ok_or_else(|| invalid("baseline response missing result.x"))?
+            .iter()
+            .map(|v| v.as_f64().unwrap_or(0.0))
+            .collect::<Vec<f64>>()
+    };
+
+    let clients = opts.clients.max(1);
+    let total = opts.requests;
+    let started = Instant::now();
+    let outcomes: Vec<std::io::Result<(Vec<Duration>, usize, usize)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    let session = session.clone();
+                    let baseline = baseline.clone();
+                    // Client c handles requests c, c+clients, c+2*clients, …
+                    let count = total / clients + usize::from(c < total % clients);
+                    scope.spawn(move || client_loop(&addr, &session, &baseline, c, count))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+    let elapsed = started.elapsed();
+
+    let mut latencies = Vec::with_capacity(total);
+    let (mut ok, mut errors) = (0, 0);
+    for outcome in outcomes {
+        let (lat, o, e) = outcome?;
+        latencies.extend(lat);
+        ok += o;
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_precision_loss,
+            clippy::cast_sign_loss
+        )]
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx]
+    };
+    let mean = if latencies.is_empty() {
+        Duration::ZERO
+    } else {
+        #[allow(clippy::cast_possible_truncation)]
+        let nanos = (latencies.iter().map(Duration::as_nanos).sum::<u128>()
+            / latencies.len() as u128) as u64;
+        Duration::from_nanos(nanos)
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let throughput_rps = (ok + errors) as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    Ok(LoadtestReport {
+        ok,
+        errors,
+        elapsed,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        mean,
+        throughput_rps,
+        server_stats: server.as_ref().map(Server::stats),
+    })
+}
+
+fn client_loop(
+    addr: &str,
+    session: &Json,
+    baseline: &[f64],
+    client_index: usize,
+    count: usize,
+) -> std::io::Result<(Vec<Duration>, usize, usize)> {
+    // Deterministic per-request scalings: small sign-mixed
+    // perturbations that keep the OPF feasible on every case.
+    const SCALES: [f64; 4] = [1.10, 0.92, 1.18, 0.88];
+    let mut client = Client::connect(addr)?;
+    let mut latencies = Vec::with_capacity(count);
+    let (mut ok, mut errors) = (0, 0);
+    for i in 0..count {
+        let scale = SCALES[(client_index + i) % SCALES.len()];
+        let x_post: Vec<f64> = baseline.iter().map(|&x| x * scale).collect();
+        let params = Json::obj(vec![("x_post", Json::floats(&x_post))]);
+        let frame = client.request_frame("evaluate", session, &params);
+        let sent = Instant::now();
+        let line = client.call_raw(&frame)?;
+        latencies.push(sent.elapsed());
+        if line.contains("\"error\"") {
+            errors += 1;
+        } else {
+            ok += 1;
+        }
+    }
+    Ok((latencies, ok, errors))
+}
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}

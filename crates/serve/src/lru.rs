@@ -1,0 +1,216 @@
+//! The warm-session LRU: bounded cache of live [`MtdSession`]s.
+//!
+//! Sessions are expensive to warm up (symbolic factorizations, QR
+//! bases, attack ensembles) and cheap to keep around, so the server
+//! caches them keyed by [`SessionSpec::key`] and evicts least-recently
+//! used when the bound is hit. Eviction drops the server's `Arc` —
+//! requests already running on an evicted session finish normally and
+//! the memory is reclaimed when the last clone drops.
+//!
+//! Building a missing session happens **outside** the table lock: a
+//! large case can take seconds to warm, and holding the lock would
+//! stall every hit on other keys behind it. The cost is that two
+//! concurrent first requests for the same new key may both build; the
+//! insert-if-absent check makes one of the builds redundant rather
+//! than both resident.
+
+use std::sync::{Arc, Mutex};
+
+use gridmtd_core::{MtdError, MtdSession};
+
+use crate::session_key::SessionSpec;
+
+/// Cache statistics, cumulative since server start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LruStats {
+    /// Requests served from a warm session.
+    pub hits: u64,
+    /// Requests that had to build a session.
+    pub misses: u64,
+    /// Warm sessions dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+struct Entry {
+    key: String,
+    session: Arc<MtdSession>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+    stats: LruStats,
+}
+
+/// A bounded, thread-safe LRU of warm sessions.
+pub struct SessionLru {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SessionLru {
+    /// Creates an LRU holding at most `capacity` sessions (minimum 1).
+    pub fn new(capacity: usize) -> SessionLru {
+        SessionLru {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+                stats: LruStats::default(),
+            }),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sessions currently resident.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> LruStats {
+        self.lock().stats
+    }
+
+    /// Returns the warm session for `spec`, building it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the build failure; nothing is cached on error.
+    pub fn get_or_build(&self, spec: &SessionSpec) -> Result<Arc<MtdSession>, MtdError> {
+        let key = spec.key();
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+                entry.last_used = tick;
+                let session = Arc::clone(&entry.session);
+                inner.stats.hits += 1;
+                return Ok(session);
+            }
+            inner.stats.misses += 1;
+        }
+        // Build outside the lock — see module docs.
+        let built = Arc::new(spec.build()?);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Another thread may have built and inserted the same key while
+        // we were building; keep the resident one so both callers share
+        // warm state from here on.
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+            entry.last_used = tick;
+            return Ok(Arc::clone(&entry.session));
+        }
+        inner.entries.push(Entry {
+            key,
+            session: Arc::clone(&built),
+            last_used: tick,
+        });
+        while inner.entries.len() > self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty by loop condition");
+            inner.entries.swap_remove(oldest);
+            inner.stats.evictions += 1;
+        }
+        Ok(built)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding this lock leaves only a momentarily
+        // stale LRU ordering — always recoverable.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmtd_scenario::json::Json;
+
+    fn spec(seed: u64) -> SessionSpec {
+        SessionSpec::from_json(
+            &Json::parse(&format!(
+                r#"{{"case":"case4","config":{{"seed":{seed},"n_attacks":5}}}}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_returns_the_same_session() {
+        let lru = SessionLru::new(4);
+        let a = lru.get_or_build(&spec(1)).unwrap();
+        let b = lru.get_or_build(&spec(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = lru.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let lru = SessionLru::new(2);
+        let s1 = lru.get_or_build(&spec(1)).unwrap();
+        let _s2 = lru.get_or_build(&spec(2)).unwrap();
+        // Touch seed 1 so seed 2 is the LRU victim.
+        let _ = lru.get_or_build(&spec(1)).unwrap();
+        let _s3 = lru.get_or_build(&spec(3)).unwrap();
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.stats().evictions, 1);
+        // Seed 1 survived (same Arc); seed 2 must rebuild.
+        let s1_again = lru.get_or_build(&spec(1)).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s1_again));
+        let misses_before = lru.stats().misses;
+        let _ = lru.get_or_build(&spec(2)).unwrap();
+        assert_eq!(lru.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_converge_on_one_session() {
+        let lru = Arc::new(SessionLru::new(4));
+        let sessions: Vec<Arc<MtdSession>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let lru = Arc::clone(&lru);
+                    scope.spawn(move || lru.get_or_build(&spec(1)).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(lru.len(), 1);
+        // After the race settles, a fresh lookup returns the resident
+        // session, which is one of the four (whichever inserted first).
+        let resident = lru.get_or_build(&spec(1)).unwrap();
+        assert!(sessions.iter().any(|s| Arc::ptr_eq(s, &resident)));
+    }
+
+    #[test]
+    fn build_failures_are_not_cached() {
+        let lru = SessionLru::new(2);
+        let bad = SessionSpec::from_json(
+            &Json::parse(r#"{"case":"case4","config":{"alpha":-1}}"#).unwrap(),
+        )
+        .unwrap();
+        assert!(lru.get_or_build(&bad).is_err());
+        assert_eq!(lru.len(), 0);
+    }
+}

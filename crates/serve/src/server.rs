@@ -1,0 +1,528 @@
+//! The threaded TCP server: accept loop, per-connection I/O threads,
+//! and a worker pool with same-session request coalescing.
+//!
+//! Thread anatomy, for a server with `W` workers and `C` connections:
+//!
+//! - **1 accept thread** — blocks on [`TcpListener::accept`], spawns
+//!   the per-connection pair, exits on shutdown (unblocked by a
+//!   self-connect).
+//! - **C reader threads** — length-capped line reads; each frame is
+//!   parsed and either answered inline (`ping`, `stats`, protocol
+//!   errors — malformed or oversized frames get a JSON error response
+//!   on the same connection, never a dropped socket) or enqueued as a
+//!   job for the pool.
+//! - **C writer threads** — drain an `mpsc` channel of response lines;
+//!   all writes to a socket funnel through its writer, so worker
+//!   responses never interleave mid-frame.
+//! - **W worker threads** — pop a job, then *coalesce*: drain every
+//!   queued job bound for the same warm session (up to
+//!   [`ServeOptions::batch_max`]) and execute them as one
+//!   `MtdSession::run_batch` call, so the per-batch session lookup
+//!   and scoped thread budget are paid once and the batch layer
+//!   parallelizes across the coalesced requests.
+//!
+//! Responses are bit-identical to direct `MtdSession` calls: both
+//! sides of the comparison render through the deterministic
+//! [`Json`] writer, and `run_batch` is pinned (by the core crate's
+//! own tests) to match per-request calls for any worker count.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use gridmtd_core::session::batch::Request;
+use gridmtd_scenario::json::Json;
+
+use crate::lru::{LruStats, SessionLru};
+use crate::session_key::SessionSpec;
+use crate::wire::{self, Call, WireError, FRAME_TOO_LARGE};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Warm-session LRU capacity.
+    pub capacity: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Most requests coalesced into one `run_batch` call.
+    pub batch_max: usize,
+    /// Request frames longer than this (bytes, excluding the newline)
+    /// are rejected with [`FRAME_TOO_LARGE`].
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            capacity: 8,
+            workers: 2,
+            batch_max: 16,
+            max_frame_bytes: 4 << 20,
+        }
+    }
+}
+
+/// A point-in-time statistics snapshot (the `stats` wire method
+/// returns the same numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Warm-session cache counters.
+    pub lru: LruStats,
+    /// Warm sessions currently resident (≤ the LRU capacity).
+    pub resident: usize,
+    /// Pipeline requests executed (excludes `ping` / `stats`).
+    pub requests: u64,
+    /// `run_batch` calls issued.
+    pub batches: u64,
+    /// Requests that rode along in another request's batch
+    /// (`requests - batches` for a single-session workload).
+    pub coalesced: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+}
+
+/// One queued pipeline request.
+struct Job {
+    id: Json,
+    key: String,
+    spec: SessionSpec,
+    request: Request,
+    out: mpsc::Sender<String>,
+}
+
+struct Shared {
+    lru: SessionLru,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    batch_max: usize,
+    max_frame_bytes: usize,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    connections: AtomicU64,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            lru: self.lru.stats(),
+            resident: self.lru.len(),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts it down.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the bind fails.
+    pub fn start(opts: &ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            lru: SessionLru::new(opts.capacity),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batch_max: opts.batch_max.max(1),
+            max_frame_bytes: opts.max_frame_bytes.max(1),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let workers = (0..opts.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gridmtd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gridmtd-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, finishes queued work, and joins the pool.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop; a failed connect means the listener
+        // is already gone.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Readers blocked on idle sockets exit once their peer is gone.
+        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        for conn in conns {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.conns).push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("gridmtd-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+/// Outcome of one capped line read.
+enum FrameRead {
+    Line(String),
+    TooLarge,
+    Eof,
+}
+
+fn read_frame(
+    reader: &mut BufReader<TcpStream>,
+    max_frame_bytes: usize,
+) -> std::io::Result<FrameRead> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if line.is_empty() {
+                FrameRead::Eof
+            } else {
+                FrameRead::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let over = line.len() + pos > max_frame_bytes;
+            if !over {
+                line.extend_from_slice(&buf[..pos]);
+            }
+            reader.consume(pos + 1);
+            return Ok(if over {
+                FrameRead::TooLarge
+            } else {
+                FrameRead::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        let chunk = buf.len();
+        if line.len() + chunk > max_frame_bytes {
+            // Discard until the newline, then report the overrun.
+            reader.consume(chunk);
+            loop {
+                let buf = reader.fill_buf()?;
+                if buf.is_empty() {
+                    return Ok(FrameRead::Eof);
+                }
+                if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    reader.consume(pos + 1);
+                    return Ok(FrameRead::TooLarge);
+                }
+                let n = buf.len();
+                reader.consume(n);
+            }
+        }
+        line.extend_from_slice(buf);
+        reader.consume(chunk);
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("gridmtd-conn-writer".to_string())
+        .spawn(move || writer_loop(write_half, &rx));
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match read_frame(&mut reader, shared.max_frame_bytes) {
+            Ok(FrameRead::Line(line)) => line,
+            Ok(FrameRead::TooLarge) => {
+                let err = WireError::new(
+                    FRAME_TOO_LARGE,
+                    format!("frame exceeds {} bytes", shared.max_frame_bytes),
+                );
+                if tx.send(wire::error_frame(&Json::Null, &err)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(FrameRead::Eof) | Err(_) => break,
+        };
+        if frame.trim().is_empty() {
+            continue;
+        }
+        let parsed = match wire::parse_frame(&frame) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                // Salvage the id for correlation when the frame was
+                // valid JSON but an invalid request.
+                let id = Json::parse(&frame)
+                    .ok()
+                    .and_then(|doc| doc.get("id").cloned())
+                    .unwrap_or(Json::Null);
+                if tx.send(wire::error_frame(&id, &err)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let response = match parsed.call {
+            Call::Ping => Some(wire::ok_frame(
+                &parsed.id,
+                Json::obj(vec![("ok", Json::Bool(true))]),
+            )),
+            Call::Stats => Some(wire::ok_frame(&parsed.id, stats_json(&shared.stats()))),
+            Call::Run(request) => {
+                let spec = parsed.session.expect("checked by parse_frame");
+                let job = Job {
+                    id: parsed.id,
+                    key: spec.key(),
+                    spec,
+                    request,
+                    out: tx.clone(),
+                };
+                lock(&shared.queue).push_back(job);
+                shared.available.notify_one();
+                None
+            }
+        };
+        if let Some(response) = response {
+            if tx.send(response).is_err() {
+                break;
+            }
+        }
+    }
+    // Dropping our sender lets the writer exit once in-flight jobs
+    // (which hold clones) have answered.
+    drop(tx);
+    if let Ok(writer) = writer {
+        let _ = writer.join();
+    }
+}
+
+fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<String>) {
+    let mut out = std::io::BufWriter::new(stream);
+    while let Ok(line) = rx.recv() {
+        if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+            return;
+        }
+        if out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Pops one job and drains every queued job bound for the same warm
+/// session, preserving arrival order, up to `batch_max` total.
+fn take_batch(queue: &mut VecDeque<Job>, batch_max: usize) -> Option<Vec<Job>> {
+    let first = queue.pop_front()?;
+    let key = first.key.clone();
+    let mut batch = vec![first];
+    let mut i = 0;
+    while i < queue.len() && batch.len() < batch_max {
+        if queue[i].key == key {
+            batch.push(queue.remove(i).expect("index checked"));
+        } else {
+            i += 1;
+        }
+    }
+    Some(batch)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(batch) = take_batch(&mut queue, shared.batch_max) {
+                    break batch;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        run_jobs(shared, batch);
+    }
+}
+
+fn run_jobs(shared: &Arc<Shared>, batch: Vec<Job>) {
+    shared
+        .requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .coalesced
+        .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+
+    let session = match shared.lru.get_or_build(&batch[0].spec) {
+        Ok(session) => session,
+        Err(err) => {
+            let wire_err = wire::pipeline_error(&err);
+            for job in &batch {
+                let _ = job.out.send(wire::error_frame(&job.id, &wire_err));
+            }
+            return;
+        }
+    };
+    let requests: Vec<Request> = batch.iter().map(|job| job.request.clone()).collect();
+    let results = session.run_batch(&requests);
+    for (job, result) in batch.iter().zip(results) {
+        let line = match result {
+            Ok(response) => wire::ok_frame(&job.id, wire::encode_response(&response)),
+            Err(err) => wire::error_frame(&job.id, &wire::pipeline_error(&err)),
+        };
+        let _ = job.out.send(line);
+    }
+}
+
+/// Encodes a stats snapshot as the `stats` method's result document.
+pub fn stats_json(stats: &ServerStats) -> Json {
+    #[allow(clippy::cast_possible_wrap)]
+    fn int(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+    #[allow(clippy::cast_possible_wrap)]
+    fn resident_int(v: usize) -> i64 {
+        v as i64
+    }
+    Json::obj(vec![
+        (
+            "lru",
+            Json::obj(vec![
+                ("hits", int(stats.lru.hits)),
+                ("misses", int(stats.lru.misses)),
+                ("evictions", int(stats.lru.evictions)),
+                ("resident", Json::Int(resident_int(stats.resident))),
+            ]),
+        ),
+        ("requests", int(stats.requests)),
+        ("batches", int(stats.batches)),
+        ("coalesced", int(stats.coalesced)),
+        ("connections", int(stats.connections)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(key: &str) -> Job {
+        let (tx, _rx) = mpsc::channel();
+        Job {
+            id: Json::Null,
+            key: key.to_string(),
+            spec: SessionSpec::from_json(&Json::parse(r#"{"case":"case4"}"#).unwrap()).unwrap(),
+            request: Request::Baseline,
+            out: tx,
+        }
+    }
+
+    #[test]
+    fn take_batch_coalesces_same_key_in_order() {
+        let mut queue: VecDeque<Job> = ["a", "b", "a", "c", "a"].iter().map(|k| job(k)).collect();
+        let batch = take_batch(&mut queue, 16).unwrap();
+        assert_eq!(
+            batch.iter().map(|j| j.key.as_str()).collect::<Vec<_>>(),
+            ["a", "a", "a"]
+        );
+        assert_eq!(
+            queue.iter().map(|j| j.key.as_str()).collect::<Vec<_>>(),
+            ["b", "c"]
+        );
+    }
+
+    #[test]
+    fn take_batch_respects_batch_max() {
+        let mut queue: VecDeque<Job> = (0..5).map(|_| job("a")).collect();
+        let batch = take_batch(&mut queue, 2).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(queue.len(), 3);
+        assert!(take_batch(&mut VecDeque::new(), 4).is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! Live-server concurrency suite: N clients against a running
+//! [`Server`], pinned bit-identical to direct [`MtdSession`] calls,
+//! plus LRU bounds and protocol robustness under malformed input.
+
+use gridmtd_core::session::batch::Response;
+use gridmtd_core::{MtdConfig, MtdSession};
+use gridmtd_powergrid::cases;
+use gridmtd_scenario::json::Json;
+use gridmtd_serve::{wire, Client, ServeOptions, Server};
+
+/// The session spec every concurrency test shares: small enough to
+/// build in milliseconds, real enough to exercise the full pipeline.
+fn session_json(seed: u64) -> Json {
+    Json::parse(&format!(
+        r#"{{"case":"case4","config":{{"seed":{seed},"n_attacks":20,"n_starts":1,"max_evals_per_start":30}}}}"#
+    ))
+    .unwrap()
+}
+
+fn direct_session(seed: u64) -> MtdSession {
+    MtdSession::builder(cases::case4())
+        .config(MtdConfig {
+            seed,
+            n_attacks: 20,
+            n_starts: 1,
+            max_evals_per_start: 30,
+            ..MtdConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_direct_session_calls_bit_for_bit() {
+    let mut server = Server::start(&ServeOptions::default()).unwrap();
+    let addr = server.local_addr();
+
+    // The reference answers, computed in-process through the same
+    // deterministic encoder the server uses.
+    let reference = direct_session(1);
+    let x_post: Vec<f64> = reference.x_pre().iter().map(|&x| x * 1.1).collect();
+    let expect_evaluate =
+        wire::encode_response(&Response::Evaluate(reference.evaluate(&x_post).unwrap())).compact();
+    let expect_select =
+        wire::encode_response(&Response::Select(reference.select(0.01).unwrap())).compact();
+
+    let n_clients = 4;
+    let rounds = 3;
+    std::thread::scope(|scope| {
+        for c in 0..n_clients {
+            let x_post = x_post.clone();
+            let expect_evaluate = expect_evaluate.clone();
+            let expect_select = expect_select.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for r in 0..rounds {
+                    let params = Json::obj(vec![("x_post", Json::floats(&x_post))]);
+                    let line = client.call("evaluate", &session_json(1), &params).unwrap();
+                    let doc = Json::parse(&line).unwrap();
+                    assert_eq!(
+                        doc.get("result").unwrap().compact(),
+                        expect_evaluate,
+                        "client {c} round {r}: evaluate diverged from direct call"
+                    );
+                    let params = Json::obj(vec![("gamma_threshold", Json::Num(0.01))]);
+                    let line = client.call("select", &session_json(1), &params).unwrap();
+                    let doc = Json::parse(&line).unwrap();
+                    assert_eq!(
+                        doc.get("result").unwrap().compact(),
+                        expect_select,
+                        "client {c} round {r}: select diverged from direct call"
+                    );
+                }
+            });
+        }
+    });
+
+    // Every request after the first build hit the warm session.
+    let stats = server.stats();
+    assert_eq!(stats.lru.misses, 1, "one spec must build exactly once");
+    assert!(stats.lru.hits >= 1);
+    assert_eq!(stats.resident, 1);
+    server.shutdown();
+}
+
+#[test]
+fn batch_coalescing_answers_pipelined_requests_correctly() {
+    // One worker: while it is busy with the select, the pipelined
+    // evaluates queue up and get drained as a coalesced batch.
+    let mut server = Server::start(&ServeOptions {
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let reference = direct_session(1);
+    let x_post: Vec<f64> = reference.x_pre().iter().map(|&x| x * 1.1).collect();
+    let expect_evaluate =
+        wire::encode_response(&Response::Evaluate(reference.evaluate(&x_post).unwrap())).compact();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let select_params = Json::obj(vec![("gamma_threshold", Json::Num(0.01))]);
+    let select_frame = client.request_frame("select", &session_json(1), &select_params);
+    client.send_raw(&select_frame).unwrap();
+    let n_pipelined = 8;
+    for _ in 0..n_pipelined {
+        let params = Json::obj(vec![("x_post", Json::floats(&x_post))]);
+        let frame = client.request_frame("evaluate", &session_json(1), &params);
+        client.send_raw(&frame).unwrap();
+    }
+    // Responses on one connection come back in request order (the
+    // worker answers a coalesced batch in arrival order).
+    let select_line = client.read_line().unwrap();
+    assert!(Json::parse(&select_line).unwrap().get("result").is_some());
+    for i in 0..n_pipelined {
+        let line = client.read_line().unwrap();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("result").unwrap().compact(),
+            expect_evaluate,
+            "pipelined evaluate {i} diverged"
+        );
+        assert_eq!(doc.get("id"), Some(&Json::Int(2 + i as i64)));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, 1 + n_pipelined as u64);
+    assert!(
+        stats.coalesced > 0,
+        "pipelined same-session requests should coalesce: {stats:?}"
+    );
+    assert!(stats.batches < stats.requests);
+    server.shutdown();
+}
+
+#[test]
+fn lru_eviction_bounds_resident_sessions() {
+    let mut server = Server::start(&ServeOptions {
+        capacity: 2,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for seed in 1..=4 {
+        let line = client
+            .call("baseline", &session_json(seed), &Json::Null)
+            .unwrap();
+        assert!(
+            Json::parse(&line).unwrap().get("result").is_some(),
+            "baseline seed {seed} failed: {line}"
+        );
+    }
+    let stats = server.stats();
+    assert!(stats.resident <= 2, "capacity bound violated: {stats:?}");
+    assert_eq!(stats.lru.misses, 4);
+    assert!(stats.lru.evictions >= 2);
+
+    // The `stats` wire method reports the same numbers.
+    let line = client.call("stats", &Json::Null, &Json::Null).unwrap();
+    let doc = Json::parse(&line).unwrap();
+    let lru = doc.get("result").unwrap().get("lru").unwrap();
+    assert_eq!(lru.get("misses"), Some(&Json::Int(4)));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_frames_get_clean_errors_not_dropped_connections() {
+    let mut server = Server::start(&ServeOptions {
+        max_frame_bytes: 512,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Malformed JSON → parse error, connection stays up.
+    let line = client.call_raw("this is not json").unwrap();
+    let doc = Json::parse(&line).unwrap();
+    assert_eq!(
+        doc.get("error").unwrap().get("code"),
+        Some(&Json::Int(wire::PARSE_ERROR))
+    );
+
+    // Valid JSON, invalid frame → invalid request, id echoed back.
+    let line = client.call_raw(r#"{"id":42,"method":17}"#).unwrap();
+    let doc = Json::parse(&line).unwrap();
+    assert_eq!(doc.get("id"), Some(&Json::Int(42)));
+    assert_eq!(
+        doc.get("error").unwrap().get("code"),
+        Some(&Json::Int(wire::INVALID_REQUEST))
+    );
+
+    // Unknown method and bad params keep their distinct codes.
+    let line = client.call_raw(r#"{"method":"frobnicate"}"#).unwrap();
+    assert!(line.contains(&wire::METHOD_NOT_FOUND.to_string()));
+    let line = client
+        .call_raw(
+            r#"{"method":"select","session":{"case":"nope"},"params":{"gamma_threshold":0.1}}"#,
+        )
+        .unwrap();
+    assert!(line.contains(&wire::INVALID_PARAMS.to_string()));
+
+    // Oversized frame → FRAME_TOO_LARGE, connection still usable.
+    let huge = format!(
+        r#"{{"method":"evaluate","params":{{"x_post":[{}]}}}}"#,
+        vec!["1.0"; 200].join(",")
+    );
+    assert!(huge.len() > 512);
+    let line = client.call_raw(&huge).unwrap();
+    let doc = Json::parse(&line).unwrap();
+    assert_eq!(
+        doc.get("error").unwrap().get("code"),
+        Some(&Json::Int(wire::FRAME_TOO_LARGE))
+    );
+
+    // After all that abuse, the same connection still serves pipeline
+    // work and pings.
+    let line = client.call("ping", &Json::Null, &Json::Null).unwrap();
+    assert!(line.contains(r#""ok":true"#));
+    let line = client
+        .call("baseline", &session_json(1), &Json::Null)
+        .unwrap();
+    assert!(Json::parse(&line).unwrap().get("result").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn pipeline_failures_are_typed_errors_on_the_wire() {
+    let mut server = Server::start(&ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // An unreachable γ threshold is a pipeline error, not a transport
+    // failure — and it must not poison the warm session for later
+    // requests (the daemon-proofing regression).
+    let params = Json::obj(vec![("gamma_threshold", Json::Num(1.5))]);
+    let line = client.call("select", &session_json(1), &params).unwrap();
+    let doc = Json::parse(&line).unwrap();
+    assert_eq!(
+        doc.get("error").unwrap().get("code"),
+        Some(&Json::Int(wire::PIPELINE_ERROR))
+    );
+    let line = client
+        .call("baseline", &session_json(1), &Json::Null)
+        .unwrap();
+    assert!(Json::parse(&line).unwrap().get("result").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn timeline_runs_over_the_wire() {
+    // Drives begin_day/step_hour (via the batch Timeline request) end
+    // to end through the server — the path the DayNotStarted fix
+    // daemon-proofed.
+    let mut server = Server::start(&ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let params = Json::parse(r#"{"hours":[100,110],"gamma_grid":[0.01]}"#).unwrap();
+    let line = client.call("timeline", &session_json(1), &params).unwrap();
+    let doc = Json::parse(&line).unwrap();
+    let outcomes = doc.get("result").unwrap().as_arr().unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes[0].get("hour"), Some(&Json::Int(0)));
+    server.shutdown();
+}
+
+#[test]
+fn loadtest_driver_reports_clean_runs() {
+    let opts = gridmtd_serve::LoadtestOptions {
+        requests: 12,
+        clients: 3,
+        ..gridmtd_serve::LoadtestOptions::default()
+    };
+    let report = gridmtd_serve::run_loadtest(&opts).unwrap();
+    assert_eq!(report.ok, 12);
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.p99 >= report.p50);
+    let stats = report.server_stats.unwrap();
+    // One warm-up baseline + 12 evaluates, all on one warm session.
+    assert_eq!(stats.requests, 13);
+    assert_eq!(stats.lru.misses, 1);
+}

@@ -1,0 +1,87 @@
+//! Pins the warm-LRU hit path to the build counters: once a session
+//! is resident, further requests against the same spec must not re-run
+//! any symbolic factorization, measurement-matrix build, or QR basis
+//! build — they ride entirely on the warm caches.
+//!
+//! This lives in its own test binary because the counters are
+//! process-global relaxed atomics: any concurrently running session
+//! work would bleed into the deltas.
+
+use gridmtd_scenario::json::Json;
+use gridmtd_serve::{Client, ServeOptions, Server};
+
+fn counters() -> (u64, u64, u64, u64) {
+    (
+        gridmtd_powergrid::stats::pf_symbolic_analyses(),
+        gridmtd_powergrid::stats::measurement_matrix_builds(),
+        gridmtd_estimation::gain_symbolic_analyses(),
+        gridmtd_core::spa::gamma_basis_builds(),
+    )
+}
+
+#[test]
+fn warm_lru_hits_never_rerun_symbolic_or_basis_work() {
+    let mut server = Server::start(&ServeOptions::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let session = Json::parse(
+        r#"{"case":"case14","config":{"n_attacks":20,"n_starts":1,"max_evals_per_start":30}}"#,
+    )
+    .unwrap();
+
+    // First contact: builds the session and pays the symbolic /
+    // basis / ensemble work once. An evaluate also computes
+    // H(x_post), so the measurement-matrix counter moves here too.
+    let x_post_params = |scale: f64| {
+        // The session's x_pre is the case's nominal reactances; the
+        // loadtest-style scaling keeps the OPF feasible.
+        let x_pre: Vec<f64> = gridmtd_powergrid::cases::case14()
+            .branches()
+            .iter()
+            .map(|b| b.reactance_pu * scale)
+            .collect();
+        Json::obj(vec![("x_post", Json::floats(&x_pre))])
+    };
+    let line = client
+        .call("evaluate", &session, &x_post_params(1.1))
+        .unwrap();
+    assert!(
+        Json::parse(&line).unwrap().get("result").is_some(),
+        "warm-up evaluate failed: {line}"
+    );
+
+    let warm = counters();
+
+    // Same x_post against the warm session: the *only* matrix work
+    // allowed is the per-request H(x_post) build — no new symbolic
+    // analyses, no new gain-matrix patterns, no new γ bases.
+    for round in 0..3 {
+        let line = client
+            .call("evaluate", &session, &x_post_params(1.1))
+            .unwrap();
+        assert!(
+            Json::parse(&line).unwrap().get("result").is_some(),
+            "round {round} failed: {line}"
+        );
+    }
+    let after = counters();
+    assert_eq!(
+        warm.0, after.0,
+        "warm hits re-ran power-flow symbolic analysis"
+    );
+    assert_eq!(
+        warm.2, after.2,
+        "warm hits re-ran gain-matrix symbolic analysis"
+    );
+    assert_eq!(warm.3, after.3, "warm hits rebuilt the γ basis");
+    // H(x_post) is legitimately rebuilt per evaluate (3 rounds → 3
+    // builds); anything more means a warm cache leaked.
+    assert_eq!(
+        after.1 - warm.1,
+        3,
+        "expected exactly one H build per evaluate"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.lru.misses, 1);
+    assert_eq!(stats.lru.hits, 3);
+    server.shutdown();
+}

@@ -1,17 +1,21 @@
 //! The `gridmtd` CLI: run, validate, and list declarative scenario
 //! specs (see `docs/REPRODUCING.md` for the spec format and the
-//! checked-in `scenarios/` library).
+//! checked-in `scenarios/` library), host the pipeline as a network
+//! daemon, and replay load against one.
 //!
 //! ```text
 //! gridmtd run <spec.toml> [--out <dir>] [--threads <n>] [--quiet]
 //! gridmtd validate <spec.toml>...
 //! gridmtd list [<scenarios-dir>]
+//! gridmtd serve [--addr <host:port>] [--capacity <n>] [--workers <n>] [--batch-max <n>]
+//! gridmtd loadtest [--case <name>] [--requests <n>] [--clients <n>] [--addr <host:port>]
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use gridmtd::scenario;
+use gridmtd::serve;
 
 const USAGE: &str = "gridmtd — cost-benefit analysis of moving-target defense in power grids
 
@@ -19,17 +23,36 @@ USAGE:
     gridmtd run <spec.toml> [--out <dir>] [--threads <n>] [--quiet]
     gridmtd validate <spec.toml>...
     gridmtd list [<scenarios-dir>]
+    gridmtd serve [--addr <host:port>] [--capacity <n>] [--workers <n>]
+                  [--batch-max <n>] [--max-frame-bytes <n>]
+    gridmtd loadtest [--case <name>] [--requests <n>] [--clients <n>]
+                     [--addr <host:port>] [--config <json>]
 
 COMMANDS:
     run        Execute a scenario spec; write result.json / result.csv /
                spec.toml under <dir>/<scenario name>/ (default dir: runs)
     validate   Parse and validate specs without running them
     list       Summarize every *.toml spec in a directory (default: scenarios)
+    serve      Host the MTD pipeline as a line-delimited JSON-RPC daemon
+               with a warm-session LRU and request coalescing
+    loadtest   Replay a deterministic evaluate workload against a server
+               (self-hosted unless --addr is given) and report p50/p99/
+               throughput; appends a bench row when GRIDMTD_BENCH_JSON is set
 
 OPTIONS:
-    --out <dir>      Run-directory root (default: runs)
-    --threads <n>    Worker threads (default: GRIDMTD_THREADS or all cores)
-    --quiet          Suppress the per-sweep summary lines
+    --out <dir>            Run-directory root (default: runs)
+    --threads <n>          Worker threads (default: GRIDMTD_THREADS or all cores)
+    --quiet                Suppress the per-sweep summary lines
+    --addr <host:port>     serve: bind address (default 127.0.0.1:7433);
+                           loadtest: target an already-running server
+    --capacity <n>         serve: warm-session LRU capacity (default 8)
+    --workers <n>          serve: worker-pool size (default 2)
+    --batch-max <n>        serve: max requests coalesced per batch (default 16)
+    --max-frame-bytes <n>  serve: request-frame size cap (default 4194304)
+    --case <name>          loadtest: session case (default case4)
+    --requests <n>         loadtest: total requests (default 64)
+    --clients <n>          loadtest: concurrent connections (default 4)
+    --config <json>        loadtest: session config overrides, e.g. '{\"seed\":3}'
 ";
 
 fn main() -> ExitCode {
@@ -38,6 +61,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("list") => cmd_list(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -185,6 +210,110 @@ fn cmd_list(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut opts = serve::ServeOptions {
+        addr: "127.0.0.1:7433".to_string(),
+        ..serve::ServeOptions::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(addr) => opts.addr = addr.clone(),
+                None => return usage_error("--addr takes host:port"),
+            },
+            "--capacity" => match parse_count(iter.next()) {
+                Some(n) => opts.capacity = n,
+                None => return usage_error("--capacity takes a positive integer"),
+            },
+            "--workers" => match parse_count(iter.next()) {
+                Some(n) => opts.workers = n,
+                None => return usage_error("--workers takes a positive integer"),
+            },
+            "--batch-max" => match parse_count(iter.next()) {
+                Some(n) => opts.batch_max = n,
+                None => return usage_error("--batch-max takes a positive integer"),
+            },
+            "--max-frame-bytes" => match parse_count(iter.next()) {
+                Some(n) => opts.max_frame_bytes = n,
+                None => return usage_error("--max-frame-bytes takes a positive integer"),
+            },
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    match serve::Server::start(&opts) {
+        Ok(server) => {
+            println!(
+                "gridmtd serve: listening on {} ({} workers, LRU capacity {}, batch max {})",
+                server.local_addr(),
+                opts.workers,
+                opts.capacity,
+                opts.batch_max
+            );
+            // Serve until killed; the daemon has no interactive exit.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_loadtest(args: &[String]) -> ExitCode {
+    let mut opts = serve::LoadtestOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--case" => match iter.next() {
+                Some(case) => opts.case = case.clone(),
+                None => return usage_error("--case takes a case name"),
+            },
+            "--requests" => match parse_count(iter.next()) {
+                Some(n) => opts.requests = n,
+                None => return usage_error("--requests takes a positive integer"),
+            },
+            "--clients" => match parse_count(iter.next()) {
+                Some(n) => opts.clients = n,
+                None => return usage_error("--clients takes a positive integer"),
+            },
+            "--addr" => match iter.next() {
+                Some(addr) => {
+                    opts.addr = addr.clone();
+                    opts.spawn = None;
+                }
+                None => return usage_error("--addr takes host:port"),
+            },
+            "--config" => match iter.next().map(|v| scenario::json::Json::parse(v)) {
+                Some(Ok(config)) => opts.config = config,
+                _ => return usage_error("--config takes a JSON object"),
+            },
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    match serve::run_loadtest(&opts) {
+        Ok(report) => {
+            print!("{}", report.render(&opts.case));
+            report.append_bench_row(&opts.case);
+            if report.errors > 0 {
+                eprintln!("loadtest: {} requests returned errors", report.errors);
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadtest failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_count(arg: Option<&String>) -> Option<usize> {
+    arg.and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
 }
 
 fn usage_error(message: &str) -> ExitCode {

@@ -15,9 +15,12 @@
 //! | [`mtd`] | `gridmtd-core` | SPA metric, η'(δ), problem (4), tradeoff |
 //! | [`traces`] | `gridmtd-traces` | daily load traces |
 //! | [`scenario`] | `gridmtd-scenario` | declarative TOML sweep specs + engine |
+//! | [`serve`] | `gridmtd-serve` | line-delimited JSON-RPC daemon + warm-session LRU |
 //!
 //! The `gridmtd` **binary** (this package's `src/bin/gridmtd.rs`) runs
-//! declarative scenario specs: `gridmtd run scenarios/<name>.toml`.
+//! declarative scenario specs (`gridmtd run scenarios/<name>.toml`),
+//! hosts the pipeline as a network daemon (`gridmtd serve`), and replays
+//! load against one (`gridmtd loadtest`).
 //!
 //! # Example: is a random MTD perturbation any good?
 //!
@@ -51,5 +54,6 @@ pub use gridmtd_linalg as linalg;
 pub use gridmtd_opf as opf;
 pub use gridmtd_powergrid as powergrid;
 pub use gridmtd_scenario as scenario;
+pub use gridmtd_serve as serve;
 pub use gridmtd_stats as stats;
 pub use gridmtd_traces as traces;
