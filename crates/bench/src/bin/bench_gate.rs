@@ -20,7 +20,7 @@
 //!   one machine, so tight ratios (e.g. the 1.05× session-vs-hoisted
 //!   selection contract) are meaningful.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Parses one snapshot line of the form
@@ -44,7 +44,7 @@ fn parse_line(line: &str) -> Option<(String, f64)> {
 
 /// Loads a snapshot file into `bench id → mean_ns`. Later lines win, so
 /// re-running a bench into the same file updates its entry.
-fn load_snapshot(path: &str) -> Result<HashMap<String, f64>, String> {
+fn load_snapshot(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(text.lines().filter_map(parse_line).collect())
 }

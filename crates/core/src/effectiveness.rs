@@ -301,7 +301,7 @@ pub fn monte_carlo_detection(
     let pf = dcpf::solve_dispatch(net, x_post, dispatch_post)?;
     let z_true = pf.measurement_vector();
     let noise = NoiseModel::uniform(z_true.len(), cfg.noise_sigma_mw);
-    let base = cfg.seed.wrapping_add(0x5eed);
+    let base = crate::seedstream::domain(cfg.seed, 0x5eed);
     let trial_ids: Vec<u64> = (0..trials as u64).collect();
     let alarms = gridmtd_opf::parallel::par_map(&trial_ids, |_, &t| {
         let mut rng = StdRng::seed_from_u64(crate::seedstream::mix(base, t));

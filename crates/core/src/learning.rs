@@ -140,7 +140,7 @@ pub(crate) fn attacker_learning_study_impl(
 
     // Eavesdropped snapshots, generated once (sequential stream seeded
     // from the config) and shared by every checkpoint as a prefix.
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xa110));
+    let mut rng = StdRng::seed_from_u64(crate::seedstream::domain(cfg.seed, 0xa110));
     let nominal_loads = net.loads();
     let mut snapshots: Vec<Vec<f64>> = Vec::with_capacity(n_max);
     let mut z_ref: Vec<f64> = Vec::new();
@@ -178,7 +178,15 @@ pub(crate) fn attacker_learning_study_impl(
         for z in snapshots.iter().take(n) {
             learner.observe(z);
         }
-        let mut probe_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xbee5) ^ n as u64);
+        // Checkpoint streams derive through the collision-resistant
+        // mixer: the historical `(seed + 0xbee5) ^ n` xor scheme shared
+        // probe streams between adjacent experiment seeds (the exact
+        // failure documented in `seedstream`), correlating learning
+        // curves that are reported as independent.
+        let mut probe_rng = StdRng::seed_from_u64(crate::seedstream::mix(
+            crate::seedstream::domain(cfg.seed, 0xbee5),
+            n as u64,
+        ));
         let mut probs = Vec::with_capacity(opts.n_probe_attacks);
         for _ in 0..opts.n_probe_attacks {
             let attack = learner

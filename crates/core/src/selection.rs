@@ -291,7 +291,7 @@ pub(crate) fn select_mtd_impl(
             &lo,
             &hi,
             cfg.n_starts.max(1),
-            cfg.seed.wrapping_add(round),
+            crate::seedstream::domain(cfg.seed, round),
             &nm,
         );
         if result.f >= INFEASIBLE_COST {

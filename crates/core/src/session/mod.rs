@@ -694,7 +694,7 @@ impl MtdSession {
         n_trials: usize,
         deltas: &[f64],
     ) -> Result<Vec<RandomTrial>, MtdError> {
-        let base = self.cfg.seed.wrapping_add(0xfeed);
+        let base = crate::seedstream::domain(self.cfg.seed, 0xfeed);
         let h_pre = self.h_pre()?;
         let basis = self.gamma_basis()?;
         let trial_ids: Vec<u64> = (0..n_trials as u64).collect();
@@ -1104,7 +1104,9 @@ mod tests {
         // thread and unwind while holding it.
         let est_ctx = Arc::clone(&s.topo.est_ctx);
         let caught = std::thread::spawn(move || {
-            let _guard = est_ctx.lock().unwrap();
+            // Same poison-shrugging acquisition as the production lock
+            // sites; this guard is the one that poisons on unwind.
+            let _guard = lock_est_ctx(&est_ctx);
             panic!("worker panic while holding the estimator context");
         })
         .join();

@@ -1,0 +1,171 @@
+//! The workspace walker and report renderers.
+//!
+//! [`lint_workspace`] visits every `.rs` file of the repository —
+//! first-party code only: `vendor/` (offline registry stand-ins),
+//! `target/`, and the lint's own `fixtures/` corpus of deliberate
+//! violations are skipped — and runs the full rule set over each.
+//! Paths are reported workspace-relative with `/` separators so output
+//! is identical across machines, and files are visited in sorted order
+//! so output is identical across filesystems.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Finding};
+
+/// Directory names never descended into: VCS and build output,
+/// `vendor/` (offline registry stand-ins, out-of-workspace by design —
+/// see the root manifest — and not held to first-party invariants),
+/// `fixtures/` (the lint's own corpus of deliberate violations), and
+/// scenario run artifacts.
+const SKIP_DIRS: &[&str] = &[".git", "target", "vendor", "fixtures", "runs", "ci-runs"];
+
+/// Collects every first-party `.rs` file under `root`, workspace-
+/// relative, sorted.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every first-party `.rs` file under `root`. Findings come back
+/// sorted by (file, line, rule).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; individual files that cannot be read
+/// abort the run (a lint that silently skips files is worse than none).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        findings.extend(lint_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Renders findings for humans: one `file:line: [rule] message` block
+/// per finding with the fix hint indented, then a count.
+#[must_use]
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    fix: {}\n",
+            f.file, f.line, f.rule, f.message, f.hint
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("gridmtd lint: clean\n");
+    } else {
+        out.push_str(&format!(
+            "gridmtd lint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Renders findings as a deterministic JSON array (one object per
+/// finding, keys in fixed order), for CI and tooling.
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(f.hint)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            rule: "lock-unwrap",
+            message: "a \"quoted\" message".to_string(),
+            hint: "do the thing",
+        }
+    }
+
+    #[test]
+    fn human_rendering_counts() {
+        let text = render_human(&[finding()]);
+        assert!(text.contains("crates/x/src/a.rs:7: [lock-unwrap]"));
+        assert!(text.contains("1 finding\n"));
+        assert!(render_human(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_is_valid_shape() {
+        let text = render_json(&[finding()]);
+        assert!(text.contains("\"file\":\"crates/x/src/a.rs\""));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

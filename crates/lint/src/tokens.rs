@@ -1,0 +1,542 @@
+//! A lossy-but-honest Rust tokenizer: enough lexical structure for the
+//! lint rules to pattern-match real code without ever being fooled by
+//! string literals, char literals, raw strings, or comments.
+//!
+//! The tokenizer is deliberately not a full lexer — it does not
+//! classify keywords, parse numeric suffixes into types, or validate
+//! literals. What it guarantees is the part that matters for static
+//! analysis on text:
+//!
+//! - `"… .lock().unwrap() …"` inside a **string** is one [`Str`] token,
+//!   never a method-call sequence;
+//! - `// …` and nested `/* /* … */ */` comments become single comment
+//!   tokens (kept, so allow-comments can be read from the same stream);
+//! - raw strings `r"…"`, `r#"…"#` (any guard depth) and byte strings
+//!   are single tokens with no escape processing;
+//! - `'a'` is a [`Char`] literal while `'a` in `&'a str` is a
+//!   [`Lifetime`] — the classic ambiguity resolved the same way rustc
+//!   does (a closing quote decides);
+//! - every token records the 1-based source line it starts on.
+//!
+//! [`Str`]: TokenKind::Str
+//! [`Char`]: TokenKind::Char
+//! [`Lifetime`]: TokenKind::Lifetime
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also raw identifiers, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — the leading quote is included.
+    Lifetime,
+    /// Char or byte literal (`'x'`, `b'\n'`), quotes included.
+    Char,
+    /// String or byte-string literal, quotes included.
+    Str,
+    /// Raw (byte-)string literal, guards included.
+    RawStr,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// Operator / punctuation. Multi-char operators the rules care
+    /// about (`==`, `!=`, `::`, `->`, `..`, `^=`) are single tokens.
+    Punct,
+    /// `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// `/* … */` comment, nesting handled, delimiters included.
+    BlockComment,
+}
+
+/// One token of source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators emitted as single [`TokenKind::Punct`]
+/// tokens. Longest match wins; everything else is a one-char punct.
+const MULTI_PUNCT: &[&str] = &[
+    "==", "!=", "<=", ">=", "::", "->", "=>", "..", "^=", "&&", "||", "<<", ">>", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become one-char
+/// [`TokenKind::Punct`] tokens and unterminated literals extend to end
+/// of input, so the lint degrades gracefully on code that does not
+/// compile yet.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                push(
+                    &mut tokens,
+                    src,
+                    TokenKind::LineComment,
+                    start,
+                    cur.pos,
+                    line,
+                );
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(
+                    &mut tokens,
+                    src,
+                    TokenKind::BlockComment,
+                    start,
+                    cur.pos,
+                    line,
+                );
+            }
+            b'r' | b'b' if raw_string_guards(&cur).is_some() => {
+                let guards = raw_string_guards(&cur).unwrap_or(0);
+                // Consume the prefix (r / br), the guards, and the
+                // opening quote (`raw_string_guards` proved it exists).
+                while let Some(c) = cur.peek(0) {
+                    cur.bump();
+                    if c == b'"' {
+                        break;
+                    }
+                }
+                loop {
+                    match cur.bump() {
+                        Some(b'"') if (0..guards).all(|i| cur.peek(i) == Some(b'#')) => {
+                            for _ in 0..guards {
+                                cur.bump();
+                            }
+                            break;
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+                push(&mut tokens, src, TokenKind::RawStr, start, cur.pos, line);
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump();
+                lex_string(&mut cur);
+                push(&mut tokens, src, TokenKind::Str, start, cur.pos, line);
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump();
+                lex_char(&mut cur);
+                push(&mut tokens, src, TokenKind::Char, start, cur.pos, line);
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push(&mut tokens, src, TokenKind::Str, start, cur.pos, line);
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut cur);
+                push(&mut tokens, src, kind, start, cur.pos, line);
+            }
+            b'r' if cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#match`.
+                cur.bump();
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                push(&mut tokens, src, TokenKind::Ident, start, cur.pos, line);
+            }
+            _ if is_ident_start(b) => {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                push(&mut tokens, src, TokenKind::Ident, start, cur.pos, line);
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                push(&mut tokens, src, TokenKind::Num, start, cur.pos, line);
+            }
+            _ => {
+                let two = &src.as_bytes()[cur.pos..(cur.pos + 2).min(src.len())];
+                if MULTI_PUNCT.iter().any(|op| op.as_bytes() == two) {
+                    cur.bump();
+                    cur.bump();
+                } else {
+                    cur.bump();
+                }
+                push(&mut tokens, src, TokenKind::Punct, start, cur.pos, line);
+            }
+        }
+    }
+    tokens
+}
+
+fn push(
+    tokens: &mut Vec<Token>,
+    src: &str,
+    kind: TokenKind,
+    start: usize,
+    end: usize,
+    line: usize,
+) {
+    tokens.push(Token {
+        kind,
+        text: src[start..end].to_string(),
+        line,
+    });
+}
+
+/// If the cursor sits on a raw-string prefix (`r"`, `r#"`, `br##"`,
+/// …), returns the number of `#` guards; otherwise `None`.
+fn raw_string_guards(cur: &Cursor<'_>) -> Option<usize> {
+    let mut i = 1;
+    if cur.peek(0) == Some(b'b') {
+        if cur.peek(1) != Some(b'r') {
+            return None;
+        }
+        i = 2;
+    }
+    let mut guards = 0;
+    while cur.peek(i) == Some(b'#') {
+        guards += 1;
+        i += 1;
+    }
+    (cur.peek(i) == Some(b'"')).then_some(guards)
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(b'"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(b'\'') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguates `'` between a char literal and a lifetime, consuming
+/// the token either way.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // An escape right after the quote is always a char literal.
+    if cur.peek(1) == Some(b'\\') {
+        lex_char(cur);
+        return TokenKind::Char;
+    }
+    // `'x'` → char; `'ident` with no closing quote → lifetime.
+    if cur.peek(1).is_some_and(is_ident_start) {
+        let mut i = 2;
+        while cur.peek(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if cur.peek(i) == Some(b'\'') {
+            lex_char(cur);
+            return TokenKind::Char;
+        }
+        for _ in 0..i {
+            cur.bump();
+        }
+        return TokenKind::Lifetime;
+    }
+    // Degenerate (`'('`, unterminated, …): treat as a char literal.
+    lex_char(cur);
+    TokenKind::Char
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    // `E` is a digit in hex literals, never an exponent marker there.
+    let base_prefixed =
+        cur.peek(0) == Some(b'0') && matches!(cur.peek(1), Some(b'x' | b'b' | b'o'));
+    // Integer part (covers 0x/0b/0o digits and `_` separators).
+    while cur
+        .peek(0)
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+    {
+        // Exponent sign: `1e-3` / `2.5E+8`.
+        let c = cur.peek(0).unwrap_or(0);
+        cur.bump();
+        if !base_prefixed && (c == b'e' || c == b'E') && matches!(cur.peek(0), Some(b'+' | b'-')) {
+            // Only a sign followed by a digit belongs to the literal
+            // (`1e-3` yes, `x*1e - 3` cannot occur lexically).
+            if cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                cur.bump();
+            }
+        }
+    }
+    // Fraction: a `.` followed by a digit (not `..` and not `.method()`).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            let c = cur.peek(0).unwrap_or(0);
+            cur.bump();
+            if (c == b'e' || c == b'E')
+                && matches!(cur.peek(0), Some(b'+' | b'-'))
+                && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                cur.bump();
+            }
+        }
+    } else if cur.peek(0) == Some(b'.')
+        && cur.peek(1) != Some(b'.')
+        && !cur.peek(1).is_some_and(is_ident_start)
+    {
+        // Trailing-dot float `1.` (but neither `1..n` nor `1.powi`).
+        cur.bump();
+    }
+}
+
+/// Whether a [`TokenKind::Num`] token is a **float** literal: it has a
+/// fraction, an exponent, or an explicit float suffix.
+#[must_use]
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().any(|b| b == b'e' || b == b'E')
+}
+
+/// Whether a float literal spells exactly zero (`0.0`, `0.`, `0e5`,
+/// `0.000f64`). Comparing floats against literal zero is the one exact
+/// comparison the `float-eq` rule accepts, mirroring clippy's
+/// `float_cmp` carve-out.
+#[must_use]
+pub fn is_zero_float(text: &str) -> bool {
+    let mantissa: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+        .collect();
+    !mantissa.is_empty() && mantissa.chars().all(|c| c == '0' || c == '.' || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code_shaped_text() {
+        let toks = kinds(r#"let s = "a.lock().unwrap()";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("lock")));
+        // No Ident token named `lock` escaped the string.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "lock"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "a".to_string()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (TokenKind::Ident, "b".to_string()));
+    }
+
+    #[test]
+    fn block_comments_track_lines() {
+        let toks = tokenize("/* one\ntwo\nthree */ after");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "after");
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x"###);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::RawStr).unwrap();
+        assert!(raw.1.contains("quote \" inside"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x".to_string()));
+        // Unguarded and byte-raw forms too.
+        assert!(kinds(r#"r"plain""#)[0].0 == TokenKind::RawStr);
+        assert!(kinds(r##"br#"bytes"#"##)[0].0 == TokenKind::RawStr);
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_chars_and_static_lifetime() {
+        let toks = kinds(r"let c = '\''; let s: &'static str;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == r"'\''"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        assert_eq!(kinds("1.5")[0], (TokenKind::Num, "1.5".to_string()));
+        assert_eq!(kinds("1e-3")[0], (TokenKind::Num, "1e-3".to_string()));
+        assert_eq!(kinds("0x5eed")[0], (TokenKind::Num, "0x5eed".to_string()));
+        // `1..4` is Num Punct(..) Num, not a malformed float.
+        let toks = kinds("1..4");
+        assert_eq!(toks[0], (TokenKind::Num, "1".to_string()));
+        assert_eq!(toks[1], (TokenKind::Punct, "..".to_string()));
+        assert_eq!(toks[2], (TokenKind::Num, "4".to_string()));
+        // Method calls on integers stay separate tokens.
+        let toks = kinds("2.pow(3)");
+        assert_eq!(toks[0], (TokenKind::Num, "2".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "pow".to_string()));
+    }
+
+    #[test]
+    fn float_literal_classification() {
+        assert!(is_float_literal("1.5"));
+        assert!(is_float_literal("1."));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0x5eed"));
+        assert!(is_zero_float("0.0"));
+        assert!(is_zero_float("0."));
+        assert!(is_zero_float("0_0.00"));
+        assert!(!is_zero_float("0.5"));
+        assert!(!is_zero_float("10.0"));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = kinds("a == b != c ^ d ^= e :: f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "^", "^=", "::"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let toks = tokenize("a\nb\n\nc // trailing\nd");
+        let lines: Vec<(String, usize)> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(lines[0], ("a".to_string(), 1));
+        assert_eq!(lines[1], ("b".to_string(), 2));
+        assert_eq!(lines[2], ("c".to_string(), 4));
+        assert_eq!(lines[3], ("// trailing".to_string(), 4));
+        assert_eq!(lines[4], ("d".to_string(), 5));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Deliberate `bad-allow` violations: escapes must carry a reason, and
+//! a reason-less escape must not suppress the finding it targets.
+
+fn reasonless(m: &std::sync::Mutex<u8>) -> u8 {
+    // gridmtd-lint: allow(lock-unwrap)
+    *m.lock().unwrap()
+}
+
+fn unknown_rule() {
+    // gridmtd-lint: allow(no-such-rule) -- the rule name is wrong
+}

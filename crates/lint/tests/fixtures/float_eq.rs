@@ -1,0 +1,23 @@
+//! Deliberate `float-eq` violations. The driver asserts the exact fire
+//! lines, so any edit here must update `rules_fixtures.rs`.
+
+fn is_half(x: f64) -> bool {
+    x == 0.5
+}
+
+fn is_not_pi(x: f64) -> bool {
+    x != 3.14
+}
+
+fn sparsity_check_is_fine(x: f64) -> bool {
+    x != 0.0
+}
+
+fn negative_literal(x: f64) -> bool {
+    x == -1.5
+}
+
+fn is_half_allowed(x: f64) -> bool {
+    // gridmtd-lint: allow(float-eq) -- fixture: demonstrates suppression
+    x == 0.5
+}

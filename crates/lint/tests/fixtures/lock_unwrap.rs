@@ -1,0 +1,27 @@
+//! Deliberate `lock-unwrap` violations. The driver asserts the exact
+//! fire lines, so any edit here must update `rules_fixtures.rs`.
+use std::sync::Mutex;
+
+fn read_counter(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+fn read_counter_expect(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}
+
+fn read_counter_allowed(m: &Mutex<u32>) -> u32 {
+    // gridmtd-lint: allow(lock-unwrap) -- fixture: demonstrates suppression
+    *m.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap_locks() {
+        let m = Mutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Deliberate `raw-seed-mix` violations. The driver asserts the exact
+//! fire lines, so any edit here must update `rules_fixtures.rs`.
+
+fn derive_xor(seed: u64, t: u64) -> u64 {
+    seed ^ t
+}
+
+fn derive_add(seed: u64) -> u64 {
+    seed.wrapping_add(0xfeed)
+}
+
+fn derive_mul(base_seed: u64, t: u64) -> u64 {
+    base_seed.wrapping_mul(t)
+}
+
+fn xor_without_a_seed(mask: u64, t: u64) -> u64 {
+    mask ^ t
+}
+
+fn derive_allowed(seed: u64, t: u64) -> u64 {
+    // gridmtd-lint: allow(raw-seed-mix) -- fixture: demonstrates suppression
+    seed ^ t
+}

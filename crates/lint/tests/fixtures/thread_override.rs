@@ -1,0 +1,13 @@
+//! Deliberate `thread-override` violations. The driver asserts the
+//! exact fire lines, so any edit here must update `rules_fixtures.rs`.
+
+pub fn set_thread_override(_n: usize) {}
+
+fn configure_pool() {
+    set_thread_override(8);
+}
+
+fn configure_pool_allowed() {
+    // gridmtd-lint: allow(thread-override) -- fixture: demonstrates suppression
+    set_thread_override(4);
+}

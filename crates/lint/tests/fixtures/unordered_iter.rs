@@ -1,0 +1,30 @@
+//! Deliberate `unordered-iter` violations. The driver asserts the exact
+//! fire lines, so any edit here must update `rules_fixtures.rs`.
+use std::collections::{HashMap, HashSet};
+
+fn sum_values(scores: &HashMap<String, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+fn collect_keys(scores: &HashMap<String, f64>) -> Vec<String> {
+    scores.keys().cloned().collect()
+}
+
+fn drain_set(mut pending: HashSet<u64>) -> Vec<u64> {
+    pending.drain().collect()
+}
+
+fn ordered_lookup_is_fine(scores: &HashMap<String, f64>, names: &[String]) -> Vec<f64> {
+    names.iter().filter_map(|n| scores.get(n).copied()).collect()
+}
+
+fn sorted_keys_allowed(scores: &HashMap<String, f64>) -> Vec<String> {
+    // gridmtd-lint: allow(unordered-iter) -- fixture: demonstrates suppression
+    let mut keys: Vec<String> = scores.keys().cloned().collect();
+    keys.sort();
+    keys
+}

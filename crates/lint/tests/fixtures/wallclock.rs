@@ -1,0 +1,20 @@
+//! Deliberate `wallclock` violations. The driver asserts the exact fire
+//! lines, so any edit here must update `rules_fixtures.rs`.
+
+fn elapsed_ns() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}
+
+fn epoch_secs() -> u64 {
+    let now = std::time::SystemTime::now();
+    match now.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+fn allowed_stamp_ns() -> u128 {
+    // gridmtd-lint: allow(wallclock) -- fixture: demonstrates suppression
+    std::time::Instant::now().elapsed().as_nanos()
+}

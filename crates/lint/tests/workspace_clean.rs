@@ -1,0 +1,51 @@
+//! The lint's own dogfood gate: the workspace must lint clean. This is
+//! the same check CI runs via `gridmtd lint`, kept as a test so a plain
+//! `cargo test` catches new violations before a finding ever reaches
+//! the pipeline.
+
+use std::path::Path;
+
+use gridmtd_lint::{lint_workspace, render_human, workspace_files};
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let findings = lint_workspace(repo_root()).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings; fix or allow() them with a reason:\n{}",
+        render_human(&findings)
+    );
+}
+
+#[test]
+fn walker_sees_the_real_workspace() {
+    // Guards against a silently-green gate: if path filtering ever eats
+    // the workspace (wrong root, overzealous SKIP_DIRS), the clean
+    // assertion above would pass vacuously.
+    let files = workspace_files(repo_root()).expect("walk workspace");
+    let names: Vec<String> = files
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    assert!(files.len() > 50, "only {} files seen", files.len());
+    for expected in [
+        "crates/core/src/seedstream.rs",
+        "crates/serve/src/server.rs",
+        "crates/lint/src/rules.rs",
+        "src/bin/gridmtd.rs",
+    ] {
+        assert!(
+            names.iter().any(|n| n.ends_with(expected)),
+            "walker missed {expected}"
+        );
+    }
+    // And the deliberate-violation corpus must stay out of the walk.
+    assert!(
+        !names.iter().any(|n| n.contains("/fixtures/")),
+        "walker descended into fixtures/"
+    );
+}

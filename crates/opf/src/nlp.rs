@@ -338,6 +338,12 @@ where
             if s == 0 {
                 x0.to_vec()
             } else {
+                // The per-start streams are golden-pinned (the fig9 and
+                // tradeoff artifacts are byte-for-byte), and opf sits below
+                // core so the seedstream mixer is out of reach. A collision
+                // across starts costs only search diversity, never
+                // correctness: every start minimizes the same objective.
+                // gridmtd-lint: allow(raw-seed-mix) -- golden-pinned multistart streams; collisions cost diversity, not correctness
                 let mut rng = StdRng::seed_from_u64(seed ^ s as u64);
                 (0..x0.len())
                     .map(|i| {

@@ -180,7 +180,15 @@ pub fn run(opts: &LoadtestOptions) -> std::io::Result<LoadtestReport> {
                     scope.spawn(move || client_loop(&addr, &session, &baseline, c, count))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    // A panicked client thread becomes a reported error,
+                    // not a loadtest-wide panic cascade.
+                    h.join()
+                        .unwrap_or_else(|_| Err(invalid("loadtest client thread panicked")))
+                })
+                .collect()
         });
     let elapsed = started.elapsed();
 

@@ -16,9 +16,10 @@
 
 use std::sync::{Arc, Mutex};
 
-use gridmtd_core::{MtdError, MtdSession};
+use gridmtd_core::MtdSession;
 
 use crate::session_key::SessionSpec;
+use crate::wire::WireError;
 
 /// Cache statistics, cumulative since server start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,8 +87,9 @@ impl SessionLru {
     ///
     /// # Errors
     ///
-    /// Propagates the build failure; nothing is cached on error.
-    pub fn get_or_build(&self, spec: &SessionSpec) -> Result<Arc<MtdSession>, MtdError> {
+    /// Propagates the build failure as a wire-ready [`WireError`];
+    /// nothing is cached on error.
+    pub fn get_or_build(&self, spec: &SessionSpec) -> Result<Arc<MtdSession>, WireError> {
         let key = spec.key();
         {
             let mut inner = self.lock();
@@ -119,13 +121,17 @@ impl SessionLru {
             last_used: tick,
         });
         while inner.entries.len() > self.capacity {
-            let oldest = inner
+            let Some(oldest) = inner
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-                .expect("non-empty by loop condition");
+            else {
+                // Unreachable while the loop bound holds (capacity is
+                // at least 1); stop evicting rather than panic.
+                break;
+            };
             inner.entries.swap_remove(oldest);
             inner.stats.evictions += 1;
         }

@@ -137,7 +137,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] when the bind fails.
+    /// [`std::io::Error`] when the bind fails or a server thread cannot
+    /// be spawned; a partial start is unwound before returning.
     pub fn start(opts: &ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
@@ -154,21 +155,32 @@ impl Server {
             connections: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
         });
-        let workers = (0..opts.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gridmtd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(opts.workers.max(1));
+        for i in 0..opts.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("gridmtd-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match handle {
+                Ok(handle) => workers.push(handle),
+                Err(err) => {
+                    abort_start(&shared, workers);
+                    return Err(err);
+                }
+            }
+        }
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("gridmtd-accept".to_string())
                 .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn accept loop")
+        };
+        let accept = match accept {
+            Ok(accept) => accept,
+            Err(err) => {
+                abort_start(&shared, workers);
+                return Err(err);
+            }
         };
         Ok(Server {
             addr,
@@ -215,6 +227,17 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Unwinds a partially started pool when a later thread spawn fails:
+/// already-running workers are told to shut down and joined, so the
+/// failed start leaves no orphan threads behind.
+fn abort_start(shared: &Shared, workers: Vec<JoinHandle<()>>) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.available.notify_all();
+    for worker in workers {
+        let _ = worker.join();
     }
 }
 
@@ -353,19 +376,27 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 Json::obj(vec![("ok", Json::Bool(true))]),
             )),
             Call::Stats => Some(wire::ok_frame(&parsed.id, stats_json(&shared.stats()))),
-            Call::Run(request) => {
-                let spec = parsed.session.expect("checked by parse_frame");
-                let job = Job {
-                    id: parsed.id,
-                    key: spec.key(),
-                    spec,
-                    request,
-                    out: tx.clone(),
-                };
-                lock(&shared.queue).push_back(job);
-                shared.available.notify_one();
-                None
-            }
+            Call::Run(request) => match parsed.session {
+                Some(spec) => {
+                    let job = Job {
+                        id: parsed.id,
+                        key: spec.key(),
+                        spec,
+                        request,
+                        out: tx.clone(),
+                    };
+                    lock(&shared.queue).push_back(job);
+                    shared.available.notify_one();
+                    None
+                }
+                // parse_frame attaches a session to every pipeline
+                // call; answer a typed error rather than trusting that
+                // invariant with a reader-thread panic.
+                None => Some(wire::error_frame(
+                    &parsed.id,
+                    &WireError::new(wire::INVALID_REQUEST, "missing session"),
+                )),
+            },
         };
         if let Some(response) = response {
             if tx.send(response).is_err() {
@@ -402,7 +433,12 @@ fn take_batch(queue: &mut VecDeque<Job>, batch_max: usize) -> Option<Vec<Job>> {
     let mut i = 0;
     while i < queue.len() && batch.len() < batch_max {
         if queue[i].key == key {
-            batch.push(queue.remove(i).expect("index checked"));
+            match queue.remove(i) {
+                Some(job) => batch.push(job),
+                // Unreachable while the loop bound holds; stop
+                // coalescing rather than panic a worker thread.
+                None => break,
+            }
         } else {
             i += 1;
         }
@@ -443,9 +479,8 @@ fn run_jobs(shared: &Arc<Shared>, batch: Vec<Job>) {
     let session = match shared.lru.get_or_build(&batch[0].spec) {
         Ok(session) => session,
         Err(err) => {
-            let wire_err = wire::pipeline_error(&err);
             for job in &batch {
-                let _ = job.out.send(wire::error_frame(&job.id, &wire_err));
+                let _ = job.out.send(wire::error_frame(&job.id, &err));
             }
             return;
         }

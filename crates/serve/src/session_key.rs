@@ -10,7 +10,7 @@
 //! order), which makes `{"seed":1}` and an exhaustive config listing
 //! the same defaults hash to the same entry.
 
-use gridmtd_core::{MtdConfig, MtdError, MtdSession};
+use gridmtd_core::{MtdConfig, MtdSession};
 use gridmtd_powergrid::cases;
 use gridmtd_scenario::json::Json;
 
@@ -155,10 +155,12 @@ impl SessionSpec {
     ///
     /// # Errors
     ///
-    /// Propagates config validation / pipeline failures as
-    /// [`MtdError`].
-    pub fn build(&self) -> Result<MtdSession, MtdError> {
-        let net = build_case(&self.case).expect("case validated at parse time");
+    /// [`WireError`]: [`INVALID_PARAMS`] if the case name no longer
+    /// resolves (specs normally re-validate what `from_json` already
+    /// checked, but `SessionSpec` has public fields), pipeline errors
+    /// for config validation / build failures.
+    pub fn build(&self) -> Result<MtdSession, WireError> {
+        let net = build_case(&self.case)?;
         let mut builder = MtdSession::builder(net).config(self.config.clone());
         if let Some(x_pre) = &self.x_pre {
             builder = builder.x_pre(x_pre.clone());
@@ -169,7 +171,9 @@ impl SessionSpec {
         if let Some(threads) = self.threads {
             builder = builder.threads(threads);
         }
-        builder.build()
+        builder
+            .build()
+            .map_err(|err| crate::wire::pipeline_error(&err))
     }
 }
 

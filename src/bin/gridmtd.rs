@@ -9,6 +9,7 @@
 //! gridmtd list [<scenarios-dir>]
 //! gridmtd serve [--addr <host:port>] [--capacity <n>] [--workers <n>] [--batch-max <n>]
 //! gridmtd loadtest [--case <name>] [--requests <n>] [--clients <n>] [--addr <host:port>]
+//! gridmtd lint [--root <dir>] [--format human|json]
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -27,6 +28,7 @@ USAGE:
                   [--batch-max <n>] [--max-frame-bytes <n>]
     gridmtd loadtest [--case <name>] [--requests <n>] [--clients <n>]
                      [--addr <host:port>] [--config <json>]
+    gridmtd lint [--root <dir>] [--format human|json]
 
 COMMANDS:
     run        Execute a scenario spec; write result.json / result.csv /
@@ -38,6 +40,9 @@ COMMANDS:
     loadtest   Replay a deterministic evaluate workload against a server
                (self-hosted unless --addr is given) and report p50/p99/
                throughput; appends a bench row when GRIDMTD_BENCH_JSON is set
+    lint       Run the first-party static-analysis pass (determinism,
+               panic-safety, and seed-hygiene rules) over every workspace
+               .rs file; exits non-zero on any finding
 
 OPTIONS:
     --out <dir>            Run-directory root (default: runs)
@@ -53,6 +58,8 @@ OPTIONS:
     --requests <n>         loadtest: total requests (default 64)
     --clients <n>          loadtest: concurrent connections (default 4)
     --config <json>        loadtest: session config overrides, e.g. '{\"seed\":3}'
+    --root <dir>           lint: workspace root to scan (default: .)
+    --format <fmt>         lint: report format, human (default) or json
 ";
 
 fn main() -> ExitCode {
@@ -63,6 +70,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -307,6 +315,44 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("loadtest failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root takes a directory"),
+            },
+            "--format" => match iter.next().map(String::as_str) {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                _ => return usage_error("--format takes `human` or `json`"),
+            },
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    match gridmtd::lint::lint_workspace(&root) {
+        Ok(findings) => {
+            if json {
+                print!("{}", gridmtd::lint::render_json(&findings));
+            } else {
+                print!("{}", gridmtd::lint::render_human(&findings));
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint failed under {}: {e}", root.display());
             ExitCode::FAILURE
         }
     }

@@ -16,6 +16,7 @@
 //! | [`traces`] | `gridmtd-traces` | daily load traces |
 //! | [`scenario`] | `gridmtd-scenario` | declarative TOML sweep specs + engine |
 //! | [`serve`] | `gridmtd-serve` | line-delimited JSON-RPC daemon + warm-session LRU |
+//! | [`lint`] | `gridmtd-lint` | workspace static analysis: determinism / panic-safety / seed-hygiene rules |
 //!
 //! The `gridmtd` **binary** (this package's `src/bin/gridmtd.rs`) runs
 //! declarative scenario specs (`gridmtd run scenarios/<name>.toml`),
@@ -51,6 +52,7 @@ pub use gridmtd_attack as attack;
 pub use gridmtd_core as mtd;
 pub use gridmtd_estimation as estimation;
 pub use gridmtd_linalg as linalg;
+pub use gridmtd_lint as lint;
 pub use gridmtd_opf as opf;
 pub use gridmtd_powergrid as powergrid;
 pub use gridmtd_scenario as scenario;
