@@ -1,9 +1,49 @@
 //! Experiment configuration shared across MTD evaluation and selection.
 
-use gridmtd_opf::{NelderMeadOptions, OpfOptions};
+use gridmtd_opf::{LbfgsOptions, NelderMeadOptions, OpfOptions};
 use serde::{Deserialize, Serialize};
 
 use crate::MtdError;
+
+/// Outer search strategy for the SPA-constrained OPF (problem (4)).
+///
+/// Both strategies share the exterior-penalty formulation, the adaptive
+/// penalty schedule, the multistart seed streams and the exact-γ audit;
+/// they differ only in the inner minimizer driving each start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SelectionMethod {
+    /// Projected L-BFGS on analytic gradients: OPF cost via LP duals
+    /// (envelope theorem) and `sin²γ` via the differentiable
+    /// subspace-angle state. Converges in a handful of evaluations and
+    /// is the default. Falls back to [`SelectionMethod::NelderMead`]
+    /// automatically when the penalty rounds fail to reach `γ_th`.
+    #[default]
+    Gradient,
+    /// Derivative-free multistart Nelder–Mead — the original
+    /// fmincon/MultiStart analogue of the paper's Section VII-A. Slower
+    /// but independent of the analytic-gradient machinery; kept as a
+    /// config-selectable cross-check.
+    NelderMead,
+}
+
+impl SelectionMethod {
+    /// Canonical config-file spelling (`"gradient"` / `"nelder-mead"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SelectionMethod::Gradient => "gradient",
+            SelectionMethod::NelderMead => "nelder-mead",
+        }
+    }
+
+    /// Parses the canonical spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<SelectionMethod> {
+        match s {
+            "gradient" => Some(SelectionMethod::Gradient),
+            "nelder-mead" => Some(SelectionMethod::NelderMead),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration for MTD evaluation and selection.
 ///
@@ -30,8 +70,11 @@ pub struct MtdConfig {
     /// Multistart count for the SPA-constrained OPF (fmincon/MultiStart
     /// analogue).
     pub n_starts: usize,
-    /// Budget of one Nelder–Mead run inside the selection optimizer.
+    /// Budget of one optimizer run inside the selection search
+    /// (objective evaluations, line-search trials included).
     pub max_evals_per_start: usize,
+    /// Outer minimizer for the SPA-constrained OPF.
+    pub selection_method: SelectionMethod,
     /// Inner DC-OPF options.
     pub opf: OpfOptionsSerde,
 }
@@ -55,6 +98,7 @@ impl Default for MtdConfig {
             seed: 1,
             n_starts: 6,
             max_evals_per_start: 400,
+            selection_method: SelectionMethod::Gradient,
             opf: OpfOptionsSerde { pwl_segments: 10 },
         }
     }
@@ -84,6 +128,15 @@ impl MtdConfig {
         NelderMeadOptions {
             max_evals: self.max_evals_per_start,
             ..NelderMeadOptions::default()
+        }
+    }
+
+    /// Projected L-BFGS options for one selection start (same evaluation
+    /// budget as the Nelder–Mead path it replaces).
+    pub fn lbfgs_options(&self) -> LbfgsOptions {
+        LbfgsOptions {
+            max_evals: self.max_evals_per_start,
+            ..LbfgsOptions::default()
         }
     }
 

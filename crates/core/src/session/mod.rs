@@ -129,6 +129,11 @@ struct WarmCaches {
     basis: Arc<OnceLock<spa::GammaBasis>>,
     opf_pre: Arc<OnceLock<OpfSolution>>,
     baseline: Arc<OnceLock<BaselineOutcome>>,
+    /// Baseline OPF state for [`MtdSession::select`]: the unperturbed
+    /// cost scale plus the warmed simplex basis, so repeated selections
+    /// skip the one cold LP solve. Independent of seed and attack
+    /// magnitude, hence shared with derived siblings.
+    sel_baseline: Arc<OnceLock<selection::BaselineState>>,
     attacks: OnceLock<Vec<FdiAttack>>,
     ceiling: OnceLock<(Vec<f64>, f64)>,
 }
@@ -513,22 +518,25 @@ impl MtdSession {
     }
 
     /// Solves the SPA-constrained OPF of problem (4) for one threshold,
-    /// through the cached `H(x_pre)`, its QR basis and the shared
-    /// power-flow symbolic state.
+    /// through the cached `H(x_pre)`, its QR basis, the shared
+    /// power-flow symbolic state and the cached baseline simplex basis.
     ///
     /// # Errors
     ///
     /// See [`selection::select_mtd`].
     pub fn select(&self, gamma_threshold: f64) -> Result<MtdSelection, MtdError> {
         self.scoped(|| {
-            selection::select_mtd_impl(
+            let baseline = get_or_try(&self.warm.sel_baseline, || {
+                selection::prepare_baseline(&self.net, &self.x_pre, &self.cfg, self.pf_proto()?)
+            })?;
+            selection::select_mtd_seeded(
                 &self.net,
                 &self.x_pre,
                 self.h_pre()?,
                 self.gamma_basis()?,
                 gamma_threshold,
                 &self.cfg,
-                self.pf_proto()?,
+                baseline,
             )
         })
     }
@@ -700,7 +708,8 @@ impl MtdSession {
         let trial_ids: Vec<u64> = (0..n_trials as u64).collect();
         parallel::par_map(&trial_ids, |_, &t| {
             let mut rng = StdRng::seed_from_u64(crate::seedstream::mix(base, t));
-            let x_post = selection::random_perturbation(&self.net, &self.x_pre, fraction, &mut rng);
+            let x_post =
+                selection::random_perturbation(&self.net, &self.x_pre, fraction, &mut rng)?;
             let h_post = self.net.measurement_matrix(&x_post)?;
             let gamma = basis.gamma_to(&h_post)?;
             let smallest_angle = spa::smallest_angle(h_pre, &h_post)?;
@@ -910,17 +919,26 @@ impl MtdSession {
                 // exactly the serial tuner's.
                 let lookahead = parallel::available_threads().max(1);
                 let mut chosen: Option<(f64, MtdSelection, f64)> = None;
+                // The baseline OPF depends on the hour's loads but not
+                // on γ_th: solve it once and seed every candidate, so
+                // the grid pays one cold LP instead of one per point.
+                let sel_baseline = selection::prepare_baseline(
+                    &net_now,
+                    &self.x_pre,
+                    &self.cfg,
+                    self.pf_proto()?,
+                )?;
                 'grid: for candidates in day.opts.gamma_grid.chunks(lookahead) {
                     let evaluations: Vec<Result<(MtdSelection, f64), MtdError>> =
                         parallel::par_map(candidates, |_, &gamma_th| {
-                            let sel = selection::select_mtd_impl(
+                            let sel = selection::select_mtd_seeded(
                                 &net_now,
                                 &self.x_pre,
                                 h_stale,
                                 stale_basis,
                                 gamma_th,
                                 &self.cfg,
-                                self.pf_proto()?,
+                                &sel_baseline,
                             )?;
                             let eval = self.evaluate_against(&net_now, &sel.x_post, &attacks)?;
                             let eta = eval.effectiveness(day.opts.target_delta);
@@ -1018,6 +1036,7 @@ impl MtdSession {
                 basis: Arc::clone(&self.warm.basis),
                 opf_pre: Arc::clone(&self.warm.opf_pre),
                 baseline: Arc::clone(&self.warm.baseline),
+                sel_baseline: Arc::clone(&self.warm.sel_baseline),
                 ..WarmCaches::default()
             },
             day: None,

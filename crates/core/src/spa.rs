@@ -24,7 +24,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use gridmtd_linalg::{subspace, Matrix};
+use gridmtd_linalg::{diff, subspace, Matrix};
 
 use crate::MtdError;
 
@@ -74,6 +74,20 @@ impl GammaBasis {
     /// Propagates shape mismatches and numerical failures.
     pub fn gamma_to(&self, h_post: &Matrix) -> Result<f64, MtdError> {
         Ok(self.basis.largest_angle_to(h_post)?)
+    }
+
+    /// Differentiable `sin²γ` state against the cached basis: the value
+    /// plus everything needed to map sparse `∂H/∂x_l` stamps
+    /// ([`gridmtd_powergrid::Network::measurement_matrix_derivative`])
+    /// to `∂ sin²γ / ∂x_l` in O(1) per branch. The gradient-based
+    /// selection path builds one state per candidate and reads the
+    /// whole γ-gradient off it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches and numerical failures.
+    pub fn sin_sq_to(&self, h_post: &Matrix) -> Result<diff::SinSqState, MtdError> {
+        Ok(diff::sin_sq_largest_angle(&self.basis, h_post)?)
     }
 
     /// Fast conservative γ estimate for optimizer inner loops: never

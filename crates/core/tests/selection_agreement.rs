@@ -1,0 +1,148 @@
+//! Method agreement: the gradient (projected L-BFGS) selection path and
+//! the Nelder–Mead path it replaced must agree on what matters.
+//!
+//! * Both meet the requested `γ_th` on every case rung they are run on
+//!   (the audit is shared, so this pins the optimizer, not the audit);
+//! * the gradient path's OPF cost is never worse than Nelder–Mead's by
+//!   more than 1 % — it replaced NM as the default on the promise of
+//!   equal-or-better selections, not merely faster ones;
+//! * the gradient path is bit-identical across worker thread counts
+//!   (the workspace determinism contract extends to the new optimizer).
+//!
+//! The largest rung (case118) runs gradient-only: a Nelder–Mead run of
+//! comparable quality needs hundreds of debug-build LP solves, which is
+//! exactly the cost this PR retires.
+
+use gridmtd_core::{selection, MtdConfig, MtdError, SelectionMethod};
+use gridmtd_opf::parallel::with_thread_budget;
+use gridmtd_powergrid::{cases, Network};
+
+fn cfg_with(method: SelectionMethod, n_starts: usize, max_evals: usize, seed: u64) -> MtdConfig {
+    MtdConfig {
+        n_attacks: 50,
+        n_starts,
+        max_evals_per_start: max_evals,
+        seed,
+        selection_method: method,
+        ..MtdConfig::default()
+    }
+}
+
+fn agree_on(net: &Network, gamma_th: f64, n_starts: usize, max_evals: usize, seed: u64) {
+    let x_pre = net.nominal_reactances();
+    let grad_cfg = cfg_with(SelectionMethod::Gradient, n_starts, max_evals, seed);
+    let nm_cfg = cfg_with(SelectionMethod::NelderMead, n_starts, max_evals, seed);
+
+    let grad = selection::select_mtd(net, &x_pre, gamma_th, &grad_cfg).unwrap();
+    let nm = selection::select_mtd(net, &x_pre, gamma_th, &nm_cfg).unwrap();
+
+    assert!(
+        grad.gamma >= gamma_th - 1e-3,
+        "gradient path missed gamma_th: {} < {gamma_th}",
+        grad.gamma
+    );
+    assert!(
+        nm.gamma >= gamma_th - 1e-3,
+        "nelder-mead path missed gamma_th: {} < {gamma_th}",
+        nm.gamma
+    );
+    assert!(
+        grad.opf.cost <= nm.opf.cost * 1.01,
+        "gradient selection must not cost more than 1% over nelder-mead: {} vs {}",
+        grad.opf.cost,
+        nm.opf.cost
+    );
+}
+
+#[test]
+fn case4_methods_agree() {
+    agree_on(&cases::case4(), 0.2, 2, 120, 1);
+}
+
+#[test]
+fn case14_methods_agree() {
+    agree_on(&cases::case14(), 0.2, 2, 120, 1);
+}
+
+#[test]
+fn case30_methods_agree() {
+    // Quadratic generator costs: the envelope gradient prices the PWL
+    // surrogate, which must still steer to an equal-or-better optimum.
+    agree_on(&cases::case30(), 0.15, 2, 120, 30);
+}
+
+#[test]
+fn case57_methods_agree() {
+    // 160 evaluations is what Nelder-Mead needs to clear 0.02 on the
+    // 25-dimensional case57 D-FACTS box (its initial simplex alone costs
+    // 26); the gradient path clears far higher thresholds on the same
+    // budget, but agreement needs a bar both can meet.
+    agree_on(&cases::case57(), 0.02, 1, 160, 5757);
+}
+
+#[test]
+fn case118_gradient_meets_threshold() {
+    let net = cases::case118();
+    let x_pre = net.nominal_reactances();
+    let cfg = cfg_with(SelectionMethod::Gradient, 1, 12, 118_118);
+    let sel = selection::select_mtd(&net, &x_pre, 0.05, &cfg).unwrap();
+    assert!(
+        sel.gamma >= 0.05 - 1e-3,
+        "case118 gradient selection missed gamma_th: {}",
+        sel.gamma
+    );
+    assert!(sel.opf.cost.is_finite() && sel.opf.cost > 0.0);
+}
+
+#[test]
+fn gradient_selection_is_bit_identical_across_thread_counts() {
+    let net = cases::case14();
+    let x_pre = net.nominal_reactances();
+    let cfg = cfg_with(SelectionMethod::Gradient, 4, 60, 7);
+
+    let baseline =
+        with_thread_budget(Some(1), || selection::select_mtd(&net, &x_pre, 0.2, &cfg)).unwrap();
+    for threads in [2usize, 4, 16] {
+        let sel = with_thread_budget(Some(threads), || {
+            selection::select_mtd(&net, &x_pre, 0.2, &cfg)
+        })
+        .unwrap();
+        assert_eq!(
+            sel.gamma.to_bits(),
+            baseline.gamma.to_bits(),
+            "gamma differs at {threads} threads"
+        );
+        assert_eq!(
+            sel.opf.cost.to_bits(),
+            baseline.opf.cost.to_bits(),
+            "cost differs at {threads} threads"
+        );
+        for (l, (a, b)) in sel.x_post.iter().zip(baseline.x_post.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "x_post[{l}] differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn unreachable_threshold_is_still_a_typed_error() {
+    // The gradient rounds fall back to Nelder–Mead, and the NM tail owns
+    // the ThresholdUnreachable diagnosis — the fallback chain must not
+    // swallow it.
+    let net = cases::case4();
+    let x_pre = net.nominal_reactances();
+    let cfg = cfg_with(SelectionMethod::Gradient, 1, 40, 1);
+    match selection::select_mtd(&net, &x_pre, 1.5, &cfg) {
+        Err(MtdError::ThresholdUnreachable {
+            requested,
+            achieved,
+        }) => {
+            assert_eq!(requested, 1.5);
+            assert!(achieved < 1.5);
+        }
+        other => panic!("expected ThresholdUnreachable, got {other:?}"),
+    }
+}

@@ -42,6 +42,8 @@ mod cholesky;
 mod error;
 mod matrix;
 
+pub mod diff;
+pub mod eigen;
 pub mod lu;
 pub mod qr;
 pub mod sparse;
@@ -50,6 +52,7 @@ pub mod svd;
 pub mod vector;
 
 pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

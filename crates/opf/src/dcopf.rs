@@ -183,108 +183,211 @@ pub fn solve_opf_with(
     options: &OpfOptions,
     ctx: &mut OpfContext,
 ) -> Result<OpfSolution, OpfError> {
-    net.check_reactances(x)?;
-    let n = net.n_buses();
-    let slack = net.slack();
-    let b_full = net.b_matrix(x)?;
-    let suscept = net.susceptances(x)?;
+    let model = OpfLp::build(net, x, options)?;
+    let sol = ctx.lp.solve(&model.lp)?;
+    model.finish(net, x, &sol, ctx)
+}
 
-    let mut lp = LpProblem::new();
+/// The assembled DC-OPF linear program plus the variable/row bookkeeping
+/// needed to read a solution (and its duals) back in network terms.
+///
+/// Constraint rows are laid out as: one PWL coupling `Eq` row per
+/// quadratic-cost generator (generator order), then `n_buses` nodal
+/// balance `Eq` rows (bus order), then two flow rows per branch
+/// (`≤ +fmax` followed by `≥ −fmax`, branch order). Only the balance
+/// and flow rows depend on the reactances.
+struct OpfLp {
+    lp: LpProblem,
+    gen_vars: Vec<usize>,
+    theta_vars: Vec<usize>,
+    cost_offset: f64,
+    /// Leading PWL coupling rows (= number of quadratic-cost gens).
+    n_pwl_rows: usize,
+}
 
-    // Generator variables (and PWL segments for quadratic costs).
-    let mut gen_vars = Vec::with_capacity(net.n_gens());
-    let mut cost_offset = 0.0;
-    for g in net.gens() {
-        match g.cost {
-            GenCost::Linear { c } => {
-                gen_vars.push(lp.add_var(g.pmin_mw, g.pmax_mw, c));
-            }
-            GenCost::Quadratic { .. } => {
-                let k = options.pwl_segments.max(1);
-                let width = (g.pmax_mw - g.pmin_mw) / k as f64;
-                // g = pmin + Σ s_j, each segment priced at its chord slope.
-                let gv = lp.add_var(g.pmin_mw, g.pmax_mw, 0.0);
-                let mut coeffs = vec![(gv, 1.0)];
-                for j in 0..k {
-                    let p_lo = g.pmin_mw + j as f64 * width;
-                    let p_hi = p_lo + width;
-                    let slope = (g.cost.eval(p_hi) - g.cost.eval(p_lo)) / width;
-                    let s = lp.add_var(0.0, width, slope);
-                    coeffs.push((s, -1.0));
+impl OpfLp {
+    fn build(net: &Network, x: &[f64], options: &OpfOptions) -> Result<OpfLp, OpfError> {
+        net.check_reactances(x)?;
+        let n = net.n_buses();
+        let slack = net.slack();
+        let b_full = net.b_matrix(x)?;
+        let suscept = net.susceptances(x)?;
+
+        let mut lp = LpProblem::new();
+
+        // Generator variables (and PWL segments for quadratic costs).
+        let mut gen_vars = Vec::with_capacity(net.n_gens());
+        let mut cost_offset = 0.0;
+        let mut n_pwl_rows = 0usize;
+        for g in net.gens() {
+            match g.cost {
+                GenCost::Linear { c } => {
+                    gen_vars.push(lp.add_var(g.pmin_mw, g.pmax_mw, c));
                 }
-                lp.add_constraint(coeffs, Relation::Eq, g.pmin_mw);
-                cost_offset += g.cost.eval(g.pmin_mw);
-                gen_vars.push(gv);
+                GenCost::Quadratic { .. } => {
+                    let k = options.pwl_segments.max(1);
+                    let width = (g.pmax_mw - g.pmin_mw) / k as f64;
+                    // g = pmin + Σ s_j, each segment priced at its chord slope.
+                    let gv = lp.add_var(g.pmin_mw, g.pmax_mw, 0.0);
+                    let mut coeffs = vec![(gv, 1.0)];
+                    for j in 0..k {
+                        let p_lo = g.pmin_mw + j as f64 * width;
+                        let p_hi = p_lo + width;
+                        let slope = (g.cost.eval(p_hi) - g.cost.eval(p_lo)) / width;
+                        let s = lp.add_var(0.0, width, slope);
+                        coeffs.push((s, -1.0));
+                    }
+                    lp.add_constraint(coeffs, Relation::Eq, g.pmin_mw);
+                    n_pwl_rows += 1;
+                    cost_offset += g.cost.eval(g.pmin_mw);
+                    gen_vars.push(gv);
+                }
             }
         }
-    }
 
-    // Angle variables for non-slack buses.
-    let mut theta_vars = vec![usize::MAX; n];
-    for (i, theta_var) in theta_vars.iter_mut().enumerate() {
-        if i != slack {
-            *theta_var = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
-        }
-    }
-
-    // Nodal balance at every bus: Σ g@i − Σ_j B[i,j] θ_j = load_i.
-    for i in 0..n {
-        let mut coeffs: Vec<(usize, f64)> = Vec::new();
-        for (gi, g) in net.gens().iter().enumerate() {
-            if g.bus == i {
-                coeffs.push((gen_vars[gi], 1.0));
+        // Angle variables for non-slack buses.
+        let mut theta_vars = vec![usize::MAX; n];
+        for (i, theta_var) in theta_vars.iter_mut().enumerate() {
+            if i != slack {
+                *theta_var = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
             }
         }
-        for j in 0..n {
-            if j != slack && b_full[(i, j)] != 0.0 {
-                coeffs.push((theta_vars[j], -b_full[(i, j)]));
+
+        // Nodal balance at every bus: Σ g@i − Σ_j B[i,j] θ_j = load_i.
+        for i in 0..n {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for (gi, g) in net.gens().iter().enumerate() {
+                if g.bus == i {
+                    coeffs.push((gen_vars[gi], 1.0));
+                }
             }
+            for j in 0..n {
+                if j != slack && b_full[(i, j)] != 0.0 {
+                    coeffs.push((theta_vars[j], -b_full[(i, j)]));
+                }
+            }
+            lp.add_constraint(coeffs, Relation::Eq, net.bus(i).load_mw);
         }
-        lp.add_constraint(coeffs, Relation::Eq, net.bus(i).load_mw);
+
+        // Flow limits: −fmax ≤ b_l (θ_from − θ_to) ≤ fmax.
+        for (l, br) in net.branches().iter().enumerate() {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            if br.from != slack {
+                coeffs.push((theta_vars[br.from], suscept[l]));
+            }
+            if br.to != slack {
+                coeffs.push((theta_vars[br.to], -suscept[l]));
+            }
+            lp.add_constraint(coeffs.clone(), Relation::Le, br.flow_limit_mw);
+            lp.add_constraint(coeffs, Relation::Ge, -br.flow_limit_mw);
+        }
+
+        Ok(OpfLp {
+            lp,
+            gen_vars,
+            theta_vars,
+            cost_offset,
+            n_pwl_rows,
+        })
     }
 
-    // Flow limits: −fmax ≤ b_l (θ_from − θ_to) ≤ fmax.
+    /// Maps an LP solution back to an [`OpfSolution`] (flow recovery via
+    /// a DC power flow at the LP dispatch, exact cost model).
+    fn finish(
+        &self,
+        net: &Network,
+        x: &[f64],
+        sol: &crate::lp::LpSolution,
+        ctx: &mut OpfContext,
+    ) -> Result<OpfSolution, OpfError> {
+        let dispatch: Vec<f64> = self.gen_vars.iter().map(|&v| sol.x[v]).collect();
+        // Recover flows/angles from a DC power flow at the LP dispatch:
+        // this also serves as an internal consistency check of the LP
+        // model. The context's power-flow state reuses the cached
+        // symbolic factorization across the trajectory on the sparse
+        // path.
+        let pf = dcpf::solve_dispatch_with(net, x, &dispatch, &mut ctx.pf)?;
+
+        // Exact cost at the LP dispatch.
+        let cost: f64 = net
+            .gens()
+            .iter()
+            .zip(dispatch.iter())
+            .map(|(g, &d)| g.cost.eval(d))
+            .sum();
+        // The PWL chords lie above every convex cost curve, so the LP
+        // objective can never undercut the exact cost at the same dispatch.
+        debug_assert!(
+            sol.objective + self.cost_offset >= cost - 1e-6 * (1.0 + cost.abs()),
+            "PWL surrogate undercut the exact convex cost"
+        );
+
+        Ok(OpfSolution {
+            dispatch,
+            theta: pf.theta,
+            flows: pf.flows,
+            cost,
+        })
+    }
+}
+
+/// Solves the DC-OPF and additionally returns `∂cost/∂x_l` for **every**
+/// branch (zero for branches whose reactance doesn't move the optimum),
+/// computed from the LP dual multipliers via the envelope theorem.
+///
+/// Only four constraint rows carry a given reactance `x_l` — the two
+/// nodal balance rows of its terminal buses and its own two flow-limit
+/// rows — through the susceptance `b_l = base_mva/x_l`, so with
+/// `∂b_l/∂x_l = −base_mva/x_l²` and `Δθ = θ_from − θ_to` at the LP
+/// optimum:
+///
+/// ```text
+/// ∂cost/∂x_l = ∂b_l/∂x_l · Δθ · (ŷ_bal(from) − ŷ_bal(to) − ŷ_fwd(l) − ŷ_rev(l))
+/// ```
+///
+/// This is the derivative of the LP (PWL-surrogate) objective; for
+/// linear generator costs it is exactly the derivative of
+/// [`OpfSolution::cost`], for quadratic costs it differs by the chord
+/// vs. tangent slope within one PWL segment (small, and immaterial to
+/// the optimizer that consumes it). Like the optimal value function of
+/// any LP, it is piecewise smooth: at a basis change the returned value
+/// is the one-sided derivative priced by the final simplex basis.
+///
+/// # Errors
+///
+/// Same contract as [`solve_opf_with`].
+pub fn solve_opf_grad_with(
+    net: &Network,
+    x: &[f64],
+    options: &OpfOptions,
+    ctx: &mut OpfContext,
+) -> Result<(OpfSolution, Vec<f64>), OpfError> {
+    let model = OpfLp::build(net, x, options)?;
+    let (sol, duals) = ctx.lp.solve_with_duals(&model.lp)?;
+
+    let slack = net.slack();
+    let theta_of = |bus: usize| -> f64 {
+        if bus == slack {
+            0.0
+        } else {
+            sol.x[model.theta_vars[bus]]
+        }
+    };
+    let bal0 = model.n_pwl_rows;
+    let flow0 = bal0 + net.n_buses();
+    let mut grad = vec![0.0; net.n_branches()];
     for (l, br) in net.branches().iter().enumerate() {
-        let mut coeffs: Vec<(usize, f64)> = Vec::new();
-        if br.from != slack {
-            coeffs.push((theta_vars[br.from], suscept[l]));
-        }
-        if br.to != slack {
-            coeffs.push((theta_vars[br.to], -suscept[l]));
-        }
-        lp.add_constraint(coeffs.clone(), Relation::Le, br.flow_limit_mw);
-        lp.add_constraint(coeffs, Relation::Ge, -br.flow_limit_mw);
+        let db = -net.base_mva() / (x[l] * x[l]);
+        let dtheta = theta_of(br.from) - theta_of(br.to);
+        let sensitivity = duals[bal0 + br.from]
+            - duals[bal0 + br.to]
+            - duals[flow0 + 2 * l]
+            - duals[flow0 + 2 * l + 1];
+        grad[l] = db * dtheta * sensitivity;
     }
 
-    let sol = ctx.lp.solve(&lp)?;
-
-    let dispatch: Vec<f64> = gen_vars.iter().map(|&v| sol.x[v]).collect();
-    // Recover flows/angles from a DC power flow at the LP dispatch: this
-    // also serves as an internal consistency check of the LP model. The
-    // context's power-flow state reuses the cached symbolic
-    // factorization across the trajectory on the sparse path.
-    let pf = dcpf::solve_dispatch_with(net, x, &dispatch, &mut ctx.pf)?;
-
-    // Exact cost at the LP dispatch.
-    let cost: f64 = net
-        .gens()
-        .iter()
-        .zip(dispatch.iter())
-        .map(|(g, &d)| g.cost.eval(d))
-        .sum();
-    // The PWL chords lie above every convex cost curve, so the LP
-    // objective can never undercut the exact cost at the same dispatch.
-    debug_assert!(
-        sol.objective + cost_offset >= cost - 1e-6 * (1.0 + cost.abs()),
-        "PWL surrogate undercut the exact convex cost"
-    );
-
-    Ok(OpfSolution {
-        dispatch,
-        theta: pf.theta,
-        flows: pf.flows,
-        cost,
-    })
+    let opf = model.finish(net, x, &sol, ctx)?;
+    Ok((opf, grad))
 }
 
 /// Solves the DC-OPF at the network's nominal reactances.

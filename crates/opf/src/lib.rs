@@ -32,13 +32,16 @@
 //! ```
 
 pub mod dcopf;
+pub mod lbfgs;
 pub mod lp;
 pub mod nlp;
 pub mod parallel;
 
 pub use dcopf::{
-    solve_opf, solve_opf_nominal, solve_opf_with, OpfContext, OpfError, OpfOptions, OpfSolution,
+    solve_opf, solve_opf_grad_with, solve_opf_nominal, solve_opf_with, OpfContext, OpfError,
+    OpfOptions, OpfSolution,
 };
+pub use lbfgs::{lbfgs_box, multistart_lbfgs_threads, LbfgsOptions};
 pub use lp::LpSolver;
 pub use nlp::{
     multistart, multistart_stateful, multistart_stateful_threads, multistart_with_threads,

@@ -18,11 +18,15 @@
 //! of the previous solve and, when the next problem has the same shape,
 //! re-factorizes that basis against the new data instead of running
 //! Phase 1 from scratch. If the saved basis is still optimal the resolve
-//! costs two small LU factorizations and one pricing pass; if it is
+//! costs one basis LU factorization and one pricing pass; if it is
 //! primal feasible but not optimal, only Phase-2 pivots run; if it is
-//! stale (primal infeasible, singular, or the resolve hits the iteration
-//! limit) the solver falls back to the cold two-phase path, so warm and
-//! cold solves always agree on the optimum.
+//! mildly primal infeasible — the usual outcome of coefficient drift
+//! along an optimizer trajectory — a warm Phase 1 plants artificial
+//! columns only on the violated rows and repairs feasibility in a
+//! handful of pivots. Only a stale basis the repair cannot rescue
+//! (singular, genuinely infeasible, or past the iteration limit) falls
+//! back to the cold two-phase path, so warm and cold solves always
+//! agree on the optimum.
 
 use std::error::Error;
 use std::fmt;
@@ -81,6 +85,10 @@ pub enum LpError {
     /// A warm-started [`LpSolver`] resolve never surfaces this directly:
     /// it falls back to a cold Phase-1 solve first.
     IterationLimit,
+    /// The dual-multiplier recovery of [`LpSolver::solve_with_duals`]
+    /// failed to factorize the optimal basis (not expected: the simplex
+    /// just certified that basis).
+    DualRecovery,
 }
 
 impl fmt::Display for LpError {
@@ -91,6 +99,7 @@ impl fmt::Display for LpError {
             LpError::UnknownVariable(v) => write!(f, "unknown variable index {v}"),
             LpError::EmptyBound { var } => write!(f, "variable {var} has lower > upper"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::DualRecovery => write!(f, "dual recovery failed on the optimal basis"),
         }
     }
 }
@@ -258,6 +267,9 @@ struct Standardized {
     obj_const: f64,
     /// Structural + slack/surplus columns.
     total_cols: usize,
+    /// ±1 per row: −1 where the `b ≥ 0` normalization negated the row
+    /// (which also flips the sign of that row's dual multiplier).
+    row_signs: Vec<f64>,
 }
 
 fn standardize(lp: &LpProblem) -> Result<Standardized, LpError> {
@@ -404,12 +416,14 @@ fn standardize(lp: &LpProblem) -> Result<Standardized, LpError> {
             Relation::Eq => {}
         }
     }
+    let mut row_signs = vec![1.0; m];
     for i in 0..m {
         if b[i] < 0.0 {
             b[i] = -b[i];
             for x in a[i].iter_mut() {
                 *x = -*x;
             }
+            row_signs[i] = -1.0;
         }
     }
     cost.resize(total_cols, 0.0);
@@ -421,6 +435,7 @@ fn standardize(lp: &LpProblem) -> Result<Standardized, LpError> {
         cost,
         obj_const,
         total_cols,
+        row_signs,
     })
 }
 
@@ -519,16 +534,55 @@ impl LpSolver {
     /// Same contract as [`LpProblem::solve`]; warm and cold paths agree
     /// on the optimal objective.
     pub fn solve(&mut self, lp: &LpProblem) -> Result<LpSolution, LpError> {
+        Ok(self.solve_inner(lp, false)?.0)
+    }
+
+    /// Solves `lp` and additionally recovers the dual multipliers
+    /// (shadow prices) of the declared constraints, in declaration
+    /// order: `duals[i] = ∂objective/∂rhsᵢ` at the optimum.
+    ///
+    /// For sensitivities through the constraint *coefficients* — the
+    /// envelope-theorem use in the DC-OPF cost gradient — the same
+    /// multipliers give `∂objective/∂t = Σᵢ duals[i]·(∂rhsᵢ/∂t −
+    /// (∂aᵢ/∂t)ᵀx*)` while the optimal basis stays fixed. At a
+    /// degenerate optimum the multipliers are one valid subgradient
+    /// choice (the one priced by the final simplex basis).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LpSolver::solve`], plus
+    /// [`LpError::DualRecovery`] if the certified basis cannot be
+    /// re-factorized (not expected).
+    pub fn solve_with_duals(&mut self, lp: &LpProblem) -> Result<(LpSolution, Vec<f64>), LpError> {
+        let (sol, duals) = self.solve_inner(lp, true)?;
+        Ok((sol, duals.unwrap_or_default()))
+    }
+
+    fn solve_inner(
+        &mut self,
+        lp: &LpProblem,
+        want_duals: bool,
+    ) -> Result<(LpSolution, Option<Vec<f64>>), LpError> {
         let std = standardize(lp)?;
         let shape = (std.a.len(), std.total_cols);
 
         if let Some((saved, saved_shape)) = self.basis.take() {
             if saved_shape == shape {
                 match warm_resolve(&std, &saved)? {
-                    WarmOutcome::Solved { y, basis } => {
+                    WarmOutcome::Solved { y, basis, factor } => {
+                        let duals = if want_duals {
+                            Some(recover_duals(
+                                &std,
+                                &basis,
+                                lp.n_constraints(),
+                                factor.as_deref(),
+                            )?)
+                        } else {
+                            None
+                        };
                         self.basis = Some((basis, shape));
                         self.warm_solves += 1;
-                        return Ok(extract_solution(lp, &std, &y));
+                        return Ok((extract_solution(lp, &std, &y), duals));
                     }
                     WarmOutcome::FallBackCold => {}
                 }
@@ -536,14 +590,65 @@ impl LpSolver {
         }
 
         let (y, basis) = solve_cold(&std)?;
-        // Only a basis free of artificial columns can seed a warm start
-        // (redundant rows can leave a zero-valued artificial basic).
-        if basis.iter().all(|&j| j < std.total_cols) {
-            self.basis = Some((basis, shape));
-        }
+        let duals = if want_duals {
+            Some(recover_duals(&std, &basis, lp.n_constraints(), None)?)
+        } else {
+            None
+        };
+        // Redundant rows can leave a zero-valued artificial basic; the
+        // warm path knows to treat those slots as costless unit columns
+        // (and re-checks that they stay at zero), so the basis is worth
+        // saving either way — dropping it would force every later solve
+        // of a problem with one redundant row back onto the cold
+        // two-phase path.
+        self.basis = Some((basis, shape));
         self.cold_solves += 1;
-        Ok(extract_solution(lp, &std, &y))
+        Ok((extract_solution(lp, &std, &y), duals))
     }
+}
+
+/// Recovers the effective dual multipliers of the first `n_user`
+/// (original) constraints at an optimal basis: solves `Bᵀλ = c_B` in
+/// standard form and maps back through the `b ≥ 0` row negations
+/// (`ŷᵢ = σᵢλᵢ`). A redundant row kept basic by a two-phase artificial
+/// column contributes a unit column at zero cost, so its multiplier is
+/// zero. Upper-bound rows appended after the user constraints are
+/// solved for but not returned.
+fn recover_duals(
+    std: &Standardized,
+    basis: &[usize],
+    n_user: usize,
+    factor: Option<&BasisFactor>,
+) -> Result<Vec<f64>, LpError> {
+    let m = std.a.len();
+    debug_assert!(n_user <= m || m == 0);
+    if m == 0 || basis.len() != m {
+        // Bound-only problem (no rows), or a shape that cannot happen
+        // from our own solve paths: every constraint prices at zero.
+        return Ok(vec![0.0; n_user.min(m)]);
+    }
+    let fresh;
+    let lu = match factor {
+        Some(lu) => lu,
+        None => {
+            fresh = BasisFactor::factor(std, basis).map_err(|_| LpError::DualRecovery)?;
+            &fresh
+        }
+    };
+    let cb: Vec<f64> = basis
+        .iter()
+        .map(|&j| if j < std.total_cols { std.cost[j] } else { 0.0 })
+        .collect();
+    let lambda = lu
+        .solve_transposed(&cb)
+        .map_err(|_| LpError::DualRecovery)?;
+    Ok(std
+        .row_signs
+        .iter()
+        .zip(lambda.iter())
+        .take(n_user)
+        .map(|(&sign, &l)| sign * l)
+        .collect())
 }
 
 /// Factorized basis matrix for the warm path: dense LU below
@@ -559,21 +664,46 @@ enum BasisFactor {
 }
 
 impl BasisFactor {
+    /// Factorizes the basis matrix. Column indices `≥ total_cols` are
+    /// the two-phase artificial columns (unit columns `e_{j−n}`), which
+    /// a cold basis may retain on redundant rows; both the warm path and
+    /// the dual recovery accept them.
     fn factor(std: &Standardized, saved: &[usize]) -> Result<BasisFactor, LinalgError> {
         let m = std.a.len();
+        let n = std.total_cols;
         if m >= SPARSE_BASIS_MIN_ROWS {
+            // Stream the (row-major) constraint matrix once instead of
+            // extracting basis columns with strided reads — at DC-OPF
+            // sizes the strided scan is the dominant cost of a warm
+            // resolve. The triplet order is irrelevant: the CSC build
+            // buckets by column and sorts by row.
+            let mut pos = vec![usize::MAX; n];
             let mut triplets = Vec::new();
             for (k, &j) in saved.iter().enumerate() {
-                for (i, row) in std.a.iter().enumerate() {
-                    if row[j] != 0.0 {
-                        triplets.push((i, k, row[j]));
+                if j >= n {
+                    triplets.push((j - n, k, 1.0));
+                } else {
+                    pos[j] = k;
+                }
+            }
+            for (i, row) in std.a.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    if v != 0.0 && pos[j] != usize::MAX {
+                        triplets.push((i, pos[j], v));
                     }
                 }
             }
             let bmat = SparseMatrix::from_triplets(m, m, &triplets)?;
             Ok(BasisFactor::Sparse(SparseLu::factor(&bmat)?))
         } else {
-            let bmat = Matrix::from_fn(m, m, |i, k| std.a[i][saved[k]]);
+            let bmat = Matrix::from_fn(m, m, |i, k| {
+                let j = saved[k];
+                if j >= n {
+                    f64::from(u8::from(i == j - n))
+                } else {
+                    std.a[i][j]
+                }
+            });
             Ok(BasisFactor::Dense(Lu::factor(&bmat)?))
         }
     }
@@ -592,8 +722,11 @@ impl BasisFactor {
         }
     }
 
-    /// Builds the Phase-2 tableau `B⁻¹[A | b]` in the saved basis, with
-    /// the basic values `xb` (clamped at zero) in the last column.
+    /// Builds the tableau `B⁻¹[A | b]` in the saved basis, with the
+    /// basic values `xb` copied verbatim into the last column — callers
+    /// that need a feasible Phase-2 start clamp `xb` at zero first,
+    /// while the warm Phase-1 repair needs the raw (possibly negative)
+    /// values to locate the violated rows.
     fn tableau(&self, std: &Standardized, xb: &[f64]) -> Result<Vec<Vec<f64>>, LinalgError> {
         let m = std.a.len();
         let n = std.total_cols;
@@ -615,12 +748,17 @@ impl BasisFactor {
                 }
             }
             BasisFactor::Sparse(lu) => {
-                let mut rhs = vec![0.0; m];
-                for j in 0..n {
-                    for (i, row) in std.a.iter().enumerate() {
-                        rhs[i] = row[j];
+                // Transpose the constraint matrix once so each column
+                // solve reads a contiguous slice instead of a strided
+                // scan over the row-major storage.
+                let mut at = vec![0.0; n * m];
+                for (i, row) in std.a.iter().enumerate() {
+                    for (j, &v) in row.iter().enumerate() {
+                        at[j * m + i] = v;
                     }
-                    let col = lu.solve(&rhs)?;
+                }
+                for j in 0..n {
+                    let col = lu.solve(&at[j * m..(j + 1) * m])?;
                     for (i, v) in col.into_iter().enumerate() {
                         t[i][j] = v;
                     }
@@ -628,7 +766,7 @@ impl BasisFactor {
             }
         }
         for (ti, &xbi) in t.iter_mut().zip(xb.iter()) {
-            ti[n] = xbi.max(0.0);
+            ti[n] = xbi;
         }
         Ok(t)
     }
@@ -637,7 +775,17 @@ impl BasisFactor {
 /// Result of a warm-start attempt.
 enum WarmOutcome {
     /// Optimum reached from the saved basis.
-    Solved { y: Vec<f64>, basis: Vec<usize> },
+    Solved {
+        y: Vec<f64>,
+        basis: Vec<usize>,
+        /// The factorization of `basis` against the current data, when
+        /// the resolve finished without pivoting away from it (the
+        /// still-optimal fast path). Dual recovery reuses it instead of
+        /// refactoring — at DC-OPF sizes the basis LU is the dominant
+        /// cost of a warm solve, and this halves it. Boxed so the
+        /// pivoting variants don't carry the factorization's footprint.
+        factor: Option<Box<BasisFactor>>,
+    },
     /// Saved basis unusable for this data; run the cold path.
     FallBackCold,
 }
@@ -645,20 +793,24 @@ enum WarmOutcome {
 /// Attempts to resolve the standardized problem from `saved`:
 ///
 /// 1. factorize the basis matrix `B` and check primal feasibility of
-///    `x_B = B⁻¹b`;
+///    `x_B = B⁻¹b`; a *mildly infeasible* basis (the usual outcome of a
+///    constraint-coefficient drift along an optimizer trajectory) is
+///    repaired by a warm Phase 1 that plants artificial columns only on
+///    the violated rows — a handful of pivots, against the hundreds the
+///    cold all-artificial Phase 1 needs at DC-OPF sizes;
 /// 2. price the nonbasic columns with the duals `y = B⁻ᵀc_B`; if no
 ///    reduced cost is negative the saved basis is still optimal and the
 ///    solve finishes without a single pivot;
 /// 3. otherwise build the Phase-2 tableau `B⁻¹[A | b]` and pivot to
-///    optimality (no artificials, no Phase 1).
+///    optimality (no Phase 1, artificials frozen at zero).
 ///
 /// Unboundedness discovered from a feasible basis is genuine and is
-/// propagated; an iteration-limited Phase 2 requests the cold fallback
-/// instead of erroring.
+/// propagated; an iteration-limited resolve or a Phase-1 residual
+/// requests the cold fallback instead of erroring.
 fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpError> {
     let m = std.a.len();
     let n = std.total_cols;
-    if m == 0 || saved.len() != m || saved.iter().any(|&j| j >= n) {
+    if m == 0 || saved.len() != m || saved.iter().any(|&j| j >= n + m) {
         return Ok(WarmOutcome::FallBackCold);
     }
 
@@ -668,20 +820,38 @@ fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpEr
     let Ok(xb) = lu.solve(&std.b) else {
         return Ok(WarmOutcome::FallBackCold);
     };
-    // The saved basis must be primal feasible for the new data.
+    // Primal infeasible for the new data: repair with a warm Phase 1.
     if xb.iter().any(|&v| v < -1e-7) {
+        return warm_repair(std, &lu, saved, &xb);
+    }
+    // A retained artificial column (index ≥ n) marks a row that was
+    // redundant when the basis was certified. It may stay basic only at
+    // value zero: a nonzero value would mean the row is no longer
+    // redundant under the new data and the "solution" would satisfy it
+    // with a variable that does not exist in the real problem.
+    if saved
+        .iter()
+        .zip(xb.iter())
+        .any(|(&j, &v)| j >= n && v.abs() > 1e-7)
+    {
         return Ok(WarmOutcome::FallBackCold);
     }
 
     // Duals and reduced costs: r_j = c_j − yᵀa_j, with the dual solve
-    // `Bᵀy = c_B` reusing the factorization of B.
-    let cb: Vec<f64> = saved.iter().map(|&j| std.cost[j]).collect();
+    // `Bᵀy = c_B` reusing the factorization of B (artificials are
+    // costless placeholders).
+    let cb: Vec<f64> = saved
+        .iter()
+        .map(|&j| if j < n { std.cost[j] } else { 0.0 })
+        .collect();
     let Ok(dual) = lu.solve_transposed(&cb) else {
         return Ok(WarmOutcome::FallBackCold);
     };
     let mut in_basis = vec![false; n];
     for &j in saved {
-        in_basis[j] = true;
+        if j < n {
+            in_basis[j] = true;
+        }
     }
     let mut still_optimal = true;
     for (j, &basic) in in_basis.iter().enumerate() {
@@ -702,23 +872,33 @@ fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpEr
     if still_optimal {
         let mut y = vec![0.0; n];
         for (k, &j) in saved.iter().enumerate() {
-            y[j] = xb[k].max(0.0);
+            if j < n {
+                y[j] = xb[k].max(0.0);
+            }
         }
         return Ok(WarmOutcome::Solved {
             y,
             basis: saved.to_vec(),
+            factor: Some(Box::new(lu)),
         });
     }
 
     // Saved basis is feasible but no longer optimal: express the tableau
-    // in that basis (t = B⁻¹[A | b]) and run Phase-2 pivots only.
-    let Ok(t) = lu.tableau(std, &xb) else {
+    // in that basis (t = B⁻¹[A | b]) and run Phase-2 pivots only. The
+    // basic values are clamped at zero (the feasibility check above
+    // bounds them at −1e-7).
+    let xb_clamped: Vec<f64> = xb.iter().map(|&v| v.max(0.0)).collect();
+    let Ok(t) = lu.tableau(std, &xb_clamped) else {
         return Ok(WarmOutcome::FallBackCold);
     };
     let mut t = t;
     let width = n + 1;
     let mut basis = saved.to_vec();
-    match run_simplex(&mut t, &mut basis, &std.cost, n) {
+    // Pad the cost vector so retained artificials (basis indices ≥ n)
+    // price as the costless placeholders they are.
+    let mut cost = vec![0.0; n + m];
+    cost[..n].copy_from_slice(&std.cost);
+    match run_simplex(&mut t, &mut basis, &cost, n) {
         Ok(_) => {
             let mut y = vec![0.0; n];
             for i in 0..m {
@@ -726,11 +906,105 @@ fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpEr
                     y[basis[i]] = t[i][width - 1];
                 }
             }
-            Ok(WarmOutcome::Solved { y, basis })
+            Ok(WarmOutcome::Solved {
+                y,
+                basis,
+                factor: None,
+            })
         }
         // A stalled warm resolve is recoverable: retry cold.
         Err(LpError::IterationLimit) => Ok(WarmOutcome::FallBackCold),
         // Unbounded from a feasible basis is a property of the problem.
+        Err(e) => Err(e),
+    }
+}
+
+/// Warm Phase-1 repair of a primal-infeasible saved basis: negates the
+/// violated rows of the tableau `B⁻¹[A | b]`, plants one artificial unit
+/// column on each, and drives their sum to zero starting from the saved
+/// basis — the infeasibilities of an optimizer-trajectory resolve are
+/// few and shallow, so this converges in a handful of pivots where the
+/// cold path rebuilds feasibility from `m` artificials. Phase 2 then
+/// continues on the repaired basis as usual.
+///
+/// Falls back cold when the saved basis already carries legacy
+/// artificials (their index space would collide with the repair
+/// columns), when Phase 1 cannot close the gap (the problem may be
+/// genuinely infeasible — the cold path is the certifier), or when a
+/// repair artificial survives in the basis.
+fn warm_repair(
+    std: &Standardized,
+    lu: &BasisFactor,
+    saved: &[usize],
+    xb: &[f64],
+) -> Result<WarmOutcome, LpError> {
+    let m = std.a.len();
+    let n = std.total_cols;
+    if saved.iter().any(|&j| j >= n) {
+        return Ok(WarmOutcome::FallBackCold);
+    }
+    let Ok(mut t) = lu.tableau(std, xb) else {
+        return Ok(WarmOutcome::FallBackCold);
+    };
+    let neg_rows: Vec<usize> = (0..m).filter(|&i| t[i][n] < 0.0).collect();
+    let n_art = neg_rows.len();
+    let width = n + n_art + 1;
+    let mut basis = saved.to_vec();
+    for row in t.iter_mut() {
+        let rhs = row[n];
+        row.resize(width, 0.0);
+        row[n] = 0.0;
+        row[width - 1] = rhs;
+    }
+    for (a, &i) in neg_rows.iter().enumerate() {
+        for v in t[i].iter_mut() {
+            *v = -*v;
+        }
+        t[i][n + a] = 1.0;
+        basis[i] = n + a;
+    }
+
+    // Phase 1 on the repair artificials only.
+    let mut p1_cost = vec![0.0; width - 1];
+    for slot in p1_cost.iter_mut().skip(n) {
+        *slot = 1.0;
+    }
+    match run_simplex(&mut t, &mut basis, &p1_cost, n + n_art) {
+        Ok(p1) if p1 <= 1e-7 => {}
+        Ok(_) | Err(_) => return Ok(WarmOutcome::FallBackCold),
+    }
+    // Drive zero-valued artificials out of the basis where possible.
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > TOL) {
+                pivot(&mut t, &mut basis, i, j);
+            }
+        }
+    }
+    // A surviving artificial lives in the repair index space, which the
+    // next solve's `BasisFactor` would misread as a unit row column:
+    // don't let it escape this function.
+    if basis.iter().any(|&j| j >= n) {
+        return Ok(WarmOutcome::FallBackCold);
+    }
+
+    let mut p2_cost = vec![0.0; width - 1];
+    p2_cost[..n].copy_from_slice(&std.cost);
+    match run_simplex(&mut t, &mut basis, &p2_cost, n) {
+        Ok(_) => {
+            let mut y = vec![0.0; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    y[basis[i]] = t[i][width - 1];
+                }
+            }
+            Ok(WarmOutcome::Solved {
+                y,
+                basis,
+                factor: None,
+            })
+        }
+        Err(LpError::IterationLimit) => Ok(WarmOutcome::FallBackCold),
         Err(e) => Err(e),
     }
 }
@@ -1182,6 +1456,60 @@ mod tests {
         lp.set_rhs(2, 20.0);
         let sol = solver.solve(&lp).unwrap();
         assert_close(sol.objective, lp.solve().unwrap().objective, 1e-9);
+    }
+
+    #[test]
+    fn primal_infeasible_basis_is_repaired_warm() {
+        // Push demand 1 past variable `a`'s upper bound: the saved basis
+        // prices a = 32 against the bound row a ≤ 25, so its slack goes
+        // negative and the warm Phase-1 repair must re-route the excess
+        // through plant 2 instead of falling back to a cold solve.
+        let mut lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        assert_eq!(solver.cold_solves(), 1);
+        lp.set_rhs(2, 32.0);
+        let warm = solver.solve(&lp).unwrap();
+        let cold = lp.solve().unwrap();
+        assert_close(warm.objective, cold.objective, 1e-9);
+        assert_eq!(
+            (solver.warm_solves(), solver.cold_solves()),
+            (1, 1),
+            "the repair must finish on the warm path"
+        );
+    }
+
+    #[test]
+    fn repaired_basis_warm_starts_the_next_resolve() {
+        // After a repair the saved basis reflects the repaired optimum;
+        // a further small drift should resolve warm again.
+        let mut lp = warmable_lp();
+        let mut solver = LpSolver::new();
+        solver.solve(&lp).unwrap();
+        lp.set_rhs(2, 32.0);
+        solver.solve(&lp).unwrap();
+        lp.set_rhs(2, 31.0);
+        let warm = solver.solve(&lp).unwrap();
+        assert_close(warm.objective, lp.solve().unwrap().objective, 1e-9);
+        assert_eq!(solver.cold_solves(), 1);
+        assert_eq!(solver.warm_solves(), 2);
+    }
+
+    #[test]
+    fn still_optimal_duals_match_a_fresh_solver() {
+        // The still-optimal warm path hands its basis factorization to
+        // the dual recovery; the duals must be bit-identical to a cold
+        // solver's (same basis, same data, same factorization).
+        let lp = warmable_lp();
+        let mut warm_solver = LpSolver::new();
+        warm_solver.solve_with_duals(&lp).unwrap();
+        let (_, warm_duals) = warm_solver.solve_with_duals(&lp).unwrap();
+        assert_eq!(warm_solver.warm_solves(), 1);
+        let (_, cold_duals) = LpSolver::new().solve_with_duals(&lp).unwrap();
+        assert_eq!(
+            warm_duals.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            cold_duals.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+        );
     }
 
     #[test]

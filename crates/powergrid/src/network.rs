@@ -423,6 +423,60 @@ impl Network {
         Ok(h.without_col(self.slack))
     }
 
+    /// Sparse derivative stamp `∂H/∂x_l` of the DC measurement matrix
+    /// with respect to one branch reactance, as
+    /// `(row, reduced column, value)` triplets.
+    ///
+    /// Every entry of `H` carrying branch `l` is a signed copy of the
+    /// susceptance `b_l = base_mva / x_l`, so the derivative is the same
+    /// stamp pattern scaled by `∂b_l/∂x_l = −base_mva / x_l²`: the
+    /// forward/reverse flow rows `l` and `n_branches + l`, and the two
+    /// injection rows of the terminal buses. At most 8 triplets; columns
+    /// use the slack-reduced indexing of [`Network::measurement_matrix`]
+    /// (slack-bus columns are dropped).
+    ///
+    /// # Errors
+    ///
+    /// See [`Network::check_reactances`]; additionally
+    /// [`GridError::DimensionMismatch`] if `branch` is out of range.
+    pub fn measurement_matrix_derivative(
+        &self,
+        x: &[f64],
+        branch: usize,
+    ) -> Result<Vec<(usize, usize, f64)>, GridError> {
+        self.check_reactances(x)?;
+        if branch >= self.n_branches() {
+            return Err(GridError::DimensionMismatch {
+                what: "branch index",
+                expected: self.n_branches(),
+                actual: branch,
+            });
+        }
+        let nl = self.n_branches();
+        let br = &self.branches[branch];
+        let db = -self.base_mva / (x[branch] * x[branch]);
+        let rf = self.reduced_index(br.from);
+        let rt = self.reduced_index(br.to);
+        let mut triplets = Vec::with_capacity(8);
+        // Signed copies of b_l in H, per row: forward flow `+b(θf−θt)`,
+        // reverse flow `−b(θf−θt)`, injection at `from` `+b(θf−θt)`,
+        // injection at `to` `−b(θf−θt)`.
+        for (row, sign) in [
+            (branch, 1.0),
+            (nl + branch, -1.0),
+            (2 * nl + br.from, 1.0),
+            (2 * nl + br.to, -1.0),
+        ] {
+            if let Some(col) = rf {
+                triplets.push((row, col, sign * db));
+            }
+            if let Some(col) = rt {
+                triplets.push((row, col, -sign * db));
+            }
+        }
+        Ok(triplets)
+    }
+
     /// Nodal net injections `p = Σ(generation at bus) − load` for a given
     /// dispatch vector (one entry per generator, MW).
     ///

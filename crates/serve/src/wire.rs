@@ -27,7 +27,7 @@
 use gridmtd_core::session::batch::{Request, Response};
 use gridmtd_core::{
     BaselineOutcome, HourOutcome, LearningOptions, LearningOutcome, MtdConfig, MtdError,
-    MtdEvaluation, MtdSelection, TimelineOptions,
+    MtdEvaluation, MtdSelection, SelectionMethod, TimelineOptions,
 };
 use gridmtd_scenario::json::Json;
 
@@ -477,6 +477,12 @@ pub fn config_from_overrides(overrides: &Json) -> Result<MtdConfig, WireError> {
             #[allow(clippy::cast_possible_truncation)]
             "max_evals_per_start" => {
                 cfg.max_evals_per_start = value.as_u64().ok_or_else(bad)? as usize;
+            }
+            "selection_method" => {
+                cfg.selection_method = value
+                    .as_str()
+                    .and_then(SelectionMethod::parse)
+                    .ok_or_else(bad)?;
             }
             #[allow(clippy::cast_possible_truncation)]
             "pwl_segments" => cfg.opf.pwl_segments = value.as_u64().ok_or_else(bad)? as usize,

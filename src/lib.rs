@@ -37,7 +37,7 @@
 //!
 //! // Prior work's strategy: a random ±2% perturbation...
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let x_rand = selection::random_perturbation(&net, &x_pre, 0.02, &mut rng);
+//! let x_rand = selection::random_perturbation(&net, &x_pre, 0.02, &mut rng)?;
 //! let weak = effectiveness::evaluate_mtd(&net, &x_pre, &x_rand, &cfg)?;
 //!
 //! // ...versus this paper's SPA-targeted selection.

@@ -131,7 +131,7 @@ fn selected_mtd_beats_every_random_trial_on_guarantee() {
     // Random 2%-style perturbations (prior work's strategy).
     let mut rng = StdRng::seed_from_u64(9);
     for _ in 0..5 {
-        let x_rand = selection::random_perturbation(&net, &x_pre, 0.02, &mut rng);
+        let x_rand = selection::random_perturbation(&net, &x_pre, 0.02, &mut rng).unwrap();
         let rand_eval =
             effectiveness::evaluate_with_attacks(&net, &x_pre, &x_rand, &attacks, &cfg).unwrap();
         assert!(
