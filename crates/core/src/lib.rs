@@ -63,6 +63,14 @@ mod config;
 pub mod cost;
 pub mod effectiveness;
 mod error;
+/// Deterministic fault injection (re-export of [`gridmtd_faults`]).
+///
+/// Named injection points sit at every fragile boundary of the
+/// pipeline; behind the `fault-injection` cargo feature they can be
+/// armed with a seeded [`faults::FaultPlan`], and without it every
+/// point compiles to a constant `false`. See `docs/ROBUSTNESS.md` for
+/// the catalogue of fallback chains each point exercises.
+pub use gridmtd_faults as faults;
 pub mod impact;
 pub mod learning;
 pub mod seedstream;

@@ -501,8 +501,13 @@ fn run_gradient(
             &cfg.lbfgs_options(),
             threads,
         );
+        // Every start diverged or every evaluation failed (an OPF or
+        // eigensolve error maps to +∞ in the objective). That is a
+        // statement about *this strategy's* trajectory, not about the
+        // problem: report "no candidate" so the caller's Nelder–Mead
+        // fallback gets its chance before any error is declared.
         if !result.f.is_finite() {
-            return Err(MtdError::Infeasible);
+            return Ok(None);
         }
         if let Some(sel) = search.audit(h_pre, gamma_th, &result.x)? {
             return Ok(Some(sel));

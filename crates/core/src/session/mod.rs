@@ -286,6 +286,20 @@ fn get_or_try<T>(
 /// a server, every later client sharing the warm session) would panic
 /// at this lock site.
 fn lock_est_ctx(est_ctx: &Mutex<EstimatorContext>) -> std::sync::MutexGuard<'_, EstimatorContext> {
+    // Injection point: poison the mutex *for real* (a helper thread
+    // panics while holding it) so the recovery below is exercised end
+    // to end, not simulated. The chaos matrix pins the recovered
+    // result bit-identical to an unfaulted run.
+    if gridmtd_faults::point!("core.session.estimator_poison") {
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = est_ctx.lock();
+                    panic!("fault-injection: core.session.estimator_poison");
+                })
+                .join()
+        });
+    }
     est_ctx
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -1,0 +1,316 @@
+//! Deterministic fault injection for the gridmtd workspace.
+//!
+//! Every fragile boundary in the pipeline — sparse factorization
+//! pivots, the warm-basis resolve, the QL eigensolver, the L-BFGS line
+//! search, the shared estimator mutex, the serve daemon's socket and
+//! worker paths — hosts one *named injection point*:
+//!
+//! ```ignore
+//! if gridmtd_faults::point!("opf.lp.warm_resolve") {
+//!     return Ok(WarmOutcome::FallBackCold);
+//! }
+//! ```
+//!
+//! The registered names live in [`registry::ALL`]; `gridmtd lint`
+//! enforces a bijection between that list and the `point!` call sites,
+//! and the chaos matrix (`crates/core/tests/fault_matrix.rs`,
+//! `crates/serve/tests/chaos.rs`) drives every name through its
+//! documented fallback chain.
+//!
+//! # Cost model
+//!
+//! Without the `fault-injection` cargo feature (the default),
+//! [`should_fire`] is a `const fn` returning `false`: every `point!`
+//! folds to a dead branch and the compiled pipeline is bit-identical
+//! to one that never heard of this crate. With the feature on, each
+//! consulted point takes one global mutex and bumps two counters —
+//! strictly a test/diagnosis build, never the benchmarked
+//! configuration.
+//!
+//! # Determinism
+//!
+//! A [`FaultPlan`] is a pure value: point names, [`Trigger`]s, and one
+//! salt. [`Trigger::Prob`] draws from a splitmix64 stream keyed by
+//! `(salt, point name, consultation index)`, so a chaos run replays
+//! bit-identically from its seed — no wall clock, no global RNG.
+//! [`FaultPlan::activate`] holds a process-wide serialization lock for
+//! the guard's lifetime, so concurrent chaos tests in one test binary
+//! cannot see each other's faults.
+
+pub mod registry;
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Whether this build compiled the injection machinery in.
+///
+/// Drivers (the `gridmtd chaos` subcommand) check this to fail loudly
+/// instead of reporting a vacuous all-green run from a build whose
+/// points can never fire.
+pub const ENABLED: bool = cfg!(feature = "fault-injection");
+
+/// When a registered point fires, counting its consultations from 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire on every consultation.
+    Always,
+    /// Fire on the first consultation only.
+    Once,
+    /// Fire on exactly the `n`-th consultation (1-based).
+    Nth(u64),
+    /// Fire on every `n`-th consultation (`n = 0` never fires).
+    Every(u64),
+    /// Fire independently with probability `p`, drawn from the plan's
+    /// deterministic per-point splitmix64 stream.
+    Prob(f64),
+}
+
+struct Entry {
+    name: String,
+    // Only the feature-on `should_fire` consults the trigger; the
+    // counters stay readable either way so guards work feature-off.
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    trigger: Trigger,
+    calls: u64,
+    fired: u64,
+}
+
+struct LiveState {
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    salt: u64,
+    entries: Vec<Entry>,
+}
+
+/// The single live plan. `None` (the usual state) means every point is
+/// dormant.
+static LIVE: Mutex<Option<LiveState>> = Mutex::new(None);
+
+/// Serializes plan activations across threads of one process, so two
+/// chaos tests running in parallel queue up instead of cross-firing.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding either lock (e.g. a failed chaos
+    // assertion) must not brick the next chaos test in the binary.
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A set of faults to arm, built with [`FaultPlan::fail`] and armed
+/// with [`FaultPlan::activate`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    salt: u64,
+    faults: Vec<(String, Trigger)>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose [`Trigger::Prob`] draws derive from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            salt: seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Arms `name` (a [`registry::ALL`] entry) with `trigger`.
+    ///
+    /// # Panics
+    ///
+    /// When `name` is not registered — an unregistered name in a chaos
+    /// schedule is always a bug, and panicking here keeps it out of
+    /// the pipeline-under-test where a panic would read as a finding.
+    #[must_use]
+    pub fn fail(mut self, name: &str, trigger: Trigger) -> FaultPlan {
+        assert!(
+            registry::is_registered(name),
+            "fault plan names unregistered point '{name}' (see gridmtd_faults::registry::ALL)"
+        );
+        self.faults.push((name.to_string(), trigger));
+        self
+    }
+
+    /// Arms the plan process-wide until the returned guard drops.
+    ///
+    /// Blocks while another plan is active (activations serialize), so
+    /// `#[test]`s using faults need no extra coordination.
+    pub fn activate(self) -> ActiveFaults {
+        let serial = lock(&SERIAL);
+        *lock(&LIVE) = Some(LiveState {
+            salt: self.salt,
+            entries: self
+                .faults
+                .into_iter()
+                .map(|(name, trigger)| Entry {
+                    name,
+                    trigger,
+                    calls: 0,
+                    fired: 0,
+                })
+                .collect(),
+        });
+        ActiveFaults { _serial: serial }
+    }
+}
+
+/// RAII guard for an armed [`FaultPlan`]; dropping it disarms every
+/// fault and releases the activation lock.
+pub struct ActiveFaults {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl ActiveFaults {
+    /// How many times `name` was consulted since activation.
+    pub fn calls(&self, name: &str) -> u64 {
+        self.counter(name, |e| e.calls)
+    }
+
+    /// How many times `name` fired since activation.
+    pub fn fired(&self, name: &str) -> u64 {
+        self.counter(name, |e| e.fired)
+    }
+
+    fn counter(&self, name: &str, field: fn(&Entry) -> u64) -> u64 {
+        lock(&LIVE)
+            .as_ref()
+            .and_then(|state| state.entries.iter().find(|e| e.name == name))
+            .map_or(0, field)
+    }
+}
+
+impl Drop for ActiveFaults {
+    fn drop(&mut self) {
+        *lock(&LIVE) = None;
+    }
+}
+
+/// Marks a named injection point; `true` means the caller must take
+/// its failure path. The name must be a string literal registered in
+/// [`registry::ALL`] (`gridmtd lint` enforces both).
+#[macro_export]
+macro_rules! point {
+    ($name:literal) => {
+        $crate::should_fire($name)
+    };
+}
+
+/// The runtime behind [`point!`]. Prefer the macro at call sites —
+/// the lint's registry cross-check keys on it.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+#[allow(clippy::missing_const_for_fn)]
+pub const fn should_fire(_name: &str) -> bool {
+    false
+}
+
+/// The runtime behind [`point!`]. Prefer the macro at call sites —
+/// the lint's registry cross-check keys on it.
+#[cfg(feature = "fault-injection")]
+pub fn should_fire(name: &str) -> bool {
+    let mut live = lock(&LIVE);
+    let Some(state) = live.as_mut() else {
+        return false;
+    };
+    let salt = state.salt;
+    let Some(entry) = state.entries.iter_mut().find(|e| e.name == name) else {
+        return false;
+    };
+    entry.calls += 1;
+    let fire = match entry.trigger {
+        Trigger::Always => true,
+        Trigger::Once => entry.calls == 1,
+        Trigger::Nth(n) => entry.calls == n,
+        Trigger::Every(n) => n != 0 && entry.calls % n == 0,
+        Trigger::Prob(p) => {
+            let word = splitmix(salt ^ fold_name(&entry.name)).wrapping_add(entry.calls);
+            unit_interval(splitmix(word)) < p
+        }
+    };
+    if fire {
+        entry.fired += 1;
+    }
+    fire
+}
+
+/// FNV-1a over the point name: decorrelates the per-point streams.
+#[cfg(feature = "fault-injection")]
+fn fold_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// splitmix64 finalizer — the same mixer `core::seedstream` uses, kept
+/// local because this crate sits below `gridmtd-core` in the
+/// dependency graph and must stay zero-dep.
+#[cfg(feature = "fault-injection")]
+fn splitmix(word: u64) -> u64 {
+    let mut z = word.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a u64 draw onto `[0, 1)` with 53-bit precision.
+#[cfg(feature = "fault-injection")]
+#[allow(clippy::cast_precision_loss)]
+fn unit_interval(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormant_points_never_fire() {
+        assert!(!should_fire("opf.lp.warm_resolve"));
+        assert!(!point!("opf.lp.warm_resolve"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered point")]
+    fn unregistered_names_are_rejected_at_plan_build() {
+        let _ = FaultPlan::new(0).fail("no.such.point", Trigger::Always);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn trigger_semantics_and_counters() {
+        let active = FaultPlan::new(7)
+            .fail("opf.lp.warm_resolve", Trigger::Nth(2))
+            .fail("opf.lp.warm_repair", Trigger::Every(2))
+            .fail("serve.conn.read", Trigger::Once)
+            .activate();
+        let fires: Vec<bool> = (0..4).map(|_| point!("opf.lp.warm_resolve")).collect();
+        assert_eq!(fires, [false, true, false, false]);
+        let fires: Vec<bool> = (0..4).map(|_| point!("opf.lp.warm_repair")).collect();
+        assert_eq!(fires, [false, true, false, true]);
+        let fires: Vec<bool> = (0..4).map(|_| point!("serve.conn.read")).collect();
+        assert_eq!(fires, [true, false, false, false]);
+        // A point the plan does not arm stays dormant and uncounted.
+        assert!(!point!("serve.conn.write"));
+        assert_eq!(active.calls("opf.lp.warm_resolve"), 4);
+        assert_eq!(active.fired("opf.lp.warm_resolve"), 1);
+        assert_eq!(active.fired("opf.lp.warm_repair"), 2);
+        assert_eq!(active.calls("serve.conn.write"), 0);
+        drop(active);
+        assert!(!point!("serve.conn.read"));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn prob_trigger_replays_bit_identically_from_its_seed() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let _active = FaultPlan::new(seed)
+                .fail("serve.frame.parse", Trigger::Prob(0.5))
+                .activate();
+            (0..64).map(|_| point!("serve.frame.parse")).collect()
+        };
+        let a = draw(42);
+        assert_eq!(a, draw(42), "same seed must replay the same schedule");
+        assert_ne!(a, draw(43), "different seeds should diverge");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((16..=48).contains(&fired), "p=0.5 of 64 draws, got {fired}");
+    }
+}

@@ -217,7 +217,7 @@ fn ql_implicit(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), Linal
                 break;
             }
             iters += 1;
-            if iters > MAX_QL_ITERS {
+            if iters > MAX_QL_ITERS || gridmtd_faults::point!("linalg.eigen.ql_nonconvergence") {
                 return Err(LinalgError::NonConvergence {
                     op: "symmetric_ql",
                     iterations: iters,

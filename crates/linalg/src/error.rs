@@ -27,6 +27,14 @@ pub enum LinalgError {
     },
     /// The operation requires a non-empty matrix.
     Empty,
+    /// A NaN or infinity reached a factorization. Rejecting it here
+    /// keeps poisoned factors from laundering NaN into later solves,
+    /// where they would surface far from the cause (e.g. as a NaN
+    /// detection probability at the end of the MTD pipeline).
+    NonFinite {
+        /// The kernel that received the non-finite value.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -45,6 +53,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "{op} failed to converge after {iterations} iterations")
             }
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::NonFinite { op } => {
+                write!(f, "{op} received a non-finite (NaN/inf) value")
+            }
         }
     }
 }

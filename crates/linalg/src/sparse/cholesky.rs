@@ -364,6 +364,9 @@ impl SparseCholesky {
             if d.is_nan() || d <= tol {
                 return Err(LinalgError::NotPositiveDefinite);
             }
+            if gridmtd_faults::point!("linalg.sparse_cholesky.zero_pivot") {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
             let diag_slot = sym.l_colptr[k];
             l_rowidx[diag_slot] = k;
             l_vals[diag_slot] = d.sqrt();

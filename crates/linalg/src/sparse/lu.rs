@@ -59,6 +59,9 @@ impl SparseLu {
     /// * [`LinalgError::Empty`] for a 0×0 matrix.
     /// * [`LinalgError::Singular`] if no acceptable pivot exists in some
     ///   column (structurally or numerically singular).
+    /// * [`LinalgError::NonFinite`] if a NaN/infinite value reaches the
+    ///   factorization — poisoned input is rejected here rather than
+    ///   silently baked into the factors.
     pub fn factor(a: &SparseMatrix) -> Result<SparseLu, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::ShapeMismatch {
@@ -168,7 +171,15 @@ impl SparseLu {
             if ipiv == NONE || best <= PIVOT_TOL * scale {
                 return Err(LinalgError::Singular);
             }
+            if gridmtd_faults::point!("linalg.sparse_lu.zero_pivot") {
+                return Err(LinalgError::Singular);
+            }
             let pivot = x[ipiv];
+            if !pivot.is_finite() {
+                return Err(LinalgError::NonFinite {
+                    op: "sparse_lu_factor",
+                });
+            }
             pinv[ipiv] = k;
             perm[k] = ipiv;
 
@@ -182,6 +193,15 @@ impl SparseLu {
                 if i == ipiv {
                     x[i] = 0.0;
                     continue;
+                }
+                // NaN in a *non-pivot* entry would sail through the
+                // pivot test (NaN loses every `>` comparison, so it is
+                // never the pivot) and poison L/U silently; refuse it
+                // with a typed error at the source instead.
+                if !x[i].is_finite() {
+                    return Err(LinalgError::NonFinite {
+                        op: "sparse_lu_factor",
+                    });
                 }
                 let pos = pinv[i];
                 if pos != NONE {

@@ -22,6 +22,7 @@
 //! | `float-eq` | exact `==`/`!=` on floats outside tests |
 //! | `wallclock` | `Instant::now` / `SystemTime` in result-producing crates |
 //! | `thread-override` | the process-global thread override outside the CLI |
+//! | `fault-point` | `faults::point!` names drifting from the registry (unregistered, duplicated, or stale — cross-file, not allow-able) |
 //! | `bad-allow` | `allow(...)` escapes without a written reason |
 //!
 //! Known-good violations are silenced in place, reason mandatory:
@@ -49,5 +50,5 @@ pub mod rules;
 pub mod runner;
 pub mod tokens;
 
-pub use rules::{lint_source, Finding, ALLOWABLE_RULES};
+pub use rules::{check_fault_points, lint_source, Finding, ALLOWABLE_RULES};
 pub use runner::{lint_workspace, render_human, render_json, workspace_files};

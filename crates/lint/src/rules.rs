@@ -503,9 +503,16 @@ fn rule_float_eq(
     }
 }
 
-/// Paths where `wallclock` never fires: measurement is those modules'
-/// entire job, and their output is labeled as timing.
-const WALLCLOCK_ALLOWED: &[&str] = &["crates/bench/", "crates/serve/src/loadtest.rs"];
+/// Paths where `wallclock` never fires: measurement is the loadtest,
+/// chaos, and bench drivers' entire job, and the server reads the
+/// clock only for *operational* timing (idle reaping, request
+/// deadlines) that never feeds a response body.
+const WALLCLOCK_ALLOWED: &[&str] = &[
+    "crates/bench/",
+    "crates/serve/src/chaos.rs",
+    "crates/serve/src/loadtest.rs",
+    "crates/serve/src/server.rs",
+];
 
 /// `wallclock` — `Instant::now` / `SystemTime` in result-producing
 /// crates. Wall-clock reads in a result path make artifacts differ
@@ -576,6 +583,139 @@ fn rule_thread_override(
             hint: "use the scoped budget instead: MtdSessionBuilder::threads(n) or parallel::with_thread_budget",
         });
     }
+}
+
+/// Where the fault-point registry lives; [`check_fault_points`] is a
+/// no-op for file sets that do not include it (sub-tree lint runs,
+/// fixture corpora).
+const FAULT_REGISTRY_PATH: &str = "crates/faults/src/registry.rs";
+
+/// `fault-point` — cross-file registry discipline for fault-injection
+/// points. Unlike the per-file rules this one sees the whole workspace
+/// at once, and it is deliberately *not* allow-able: a point name is a
+/// public contract between the code, the registry, and the chaos
+/// matrix, so drift is never "known-good".
+///
+/// - every `point!("name")` call site must use a name registered in
+///   `gridmtd_faults::registry::ALL` (a typo would compile into a
+///   point that never fires — a chaos test that silently tests
+///   nothing);
+/// - every name must have at most one non-test call site (two sites
+///   sharing a name cannot be faulted independently, and counters
+///   conflate them);
+/// - every registered name must have at least one non-test call site
+///   (a stale registry entry makes the chaos matrix sweep a point that
+///   no longer exists).
+///
+/// `files` holds `(workspace-relative path, source)` pairs as produced
+/// by the runner.
+#[must_use]
+pub fn check_fault_points(files: &[(String, String)]) -> Vec<Finding> {
+    let Some((_, registry_src)) = files.iter().find(|(p, _)| p == FAULT_REGISTRY_PATH) else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+
+    // The registry: string literals of the `ALL` array, in order.
+    let registry_tokens = tokenize(registry_src);
+    let registry: Vec<(String, usize)> = registry_literals(&registry_tokens);
+
+    // Every `point!("name")` call site outside test code; the macro
+    // definition itself (`macro_rules! point {`) has no `("` and never
+    // matches.
+    let mut uses: Vec<(String, String, usize)> = Vec::new(); // (name, file, line)
+    for (path, src) in files {
+        if is_test_path(path) {
+            continue;
+        }
+        let tokens = tokenize(src);
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let test_lines = test_regions(&code);
+        for i in 0..code.len() {
+            if !(ident(code.get(i), "point")
+                && punct(code.get(i + 1), "!")
+                && punct(code.get(i + 2), "("))
+            {
+                continue;
+            }
+            let Some(arg) = code.get(i + 3).filter(|t| t.kind == TokenKind::Str) else {
+                continue;
+            };
+            let line = arg.line;
+            if test_lines
+                .iter()
+                .any(|&(start, end)| (start..=end).contains(&line))
+            {
+                continue;
+            }
+            let name = arg.text.trim_matches('"').to_string();
+            uses.push((name, path.clone(), line));
+        }
+    }
+
+    for (name, file, line) in &uses {
+        if !registry.iter().any(|(n, _)| n == name) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: FAULT_POINT,
+                message: format!(
+                    "injection point `{name}` is not in gridmtd_faults::registry::ALL"
+                ),
+                hint: "register the name in crates/faults/src/registry.rs (sorted) so the chaos matrix and `gridmtd chaos` exercise it",
+            });
+        }
+        let first = uses.iter().find(|(n, _, _)| n == name);
+        if first.is_some_and(|(_, f, l)| (f, l) != (file, line)) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: FAULT_POINT,
+                message: format!("injection point `{name}` already fires at another call site"),
+                hint: "give each fragile boundary its own registered name; shared names cannot be faulted independently",
+            });
+        }
+    }
+    for (name, line) in &registry {
+        if !uses.iter().any(|(n, _, _)| n == name) {
+            findings.push(Finding {
+                file: FAULT_REGISTRY_PATH.to_string(),
+                line: *line,
+                rule: FAULT_POINT,
+                message: format!("registered point `{name}` has no point! call site"),
+                hint: "remove the stale registry entry or add the missing gridmtd_faults::point!(...) guard",
+            });
+        }
+    }
+    findings
+}
+
+const FAULT_POINT: &str = "fault-point";
+
+/// The `(literal, line)` entries of `registry::ALL`: string tokens
+/// between the `ALL` identifier's `[` and its matching `]`.
+fn registry_literals(tokens: &[Token]) -> Vec<(String, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let Some(all) = code
+        .iter()
+        .position(|t| t.kind == TokenKind::Ident && t.text == "ALL")
+    else {
+        return Vec::new();
+    };
+    // Skip the `: &[&str]` type annotation — the literal starts after
+    // the `=`.
+    let Some(eq) = (all..code.len()).find(|&i| code[i].text == "=") else {
+        return Vec::new();
+    };
+    let Some(open) = (eq..code.len()).find(|&i| code[i].text == "[") else {
+        return Vec::new();
+    };
+    code[open..]
+        .iter()
+        .take_while(|t| t.text != "]")
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| (t.text.trim_matches('"').to_string(), t.line))
+        .collect()
 }
 
 #[cfg(test)]
@@ -657,6 +797,90 @@ mod tests {
             rules_fired("crates/x/src/a.rs", src),
             [("unordered-iter", 2), ("unordered-iter", 4)]
         );
+    }
+
+    fn fault_files(points: &[(&str, &str)], registry: &[&str]) -> Vec<(String, String)> {
+        let mut files: Vec<(String, String)> = points
+            .iter()
+            .map(|(path, body)| ((*path).to_string(), (*body).to_string()))
+            .collect();
+        let literals = registry
+            .iter()
+            .map(|n| format!("    \"{n}\",\n"))
+            .collect::<String>();
+        files.push((
+            super::FAULT_REGISTRY_PATH.to_string(),
+            format!("pub const ALL: &[&str] = &[\n{literals}];\n"),
+        ));
+        files
+    }
+
+    #[test]
+    fn fault_points_clean_when_registry_and_sites_agree() {
+        let files = fault_files(
+            &[(
+                "crates/x/src/a.rs",
+                "fn f() { if gridmtd_faults::point!(\"x.a.boom\") { } }\n",
+            )],
+            &["x.a.boom"],
+        );
+        assert!(check_fault_points(&files).is_empty());
+    }
+
+    #[test]
+    fn fault_points_flag_unregistered_duplicate_and_stale() {
+        let files = fault_files(
+            &[
+                (
+                    "crates/x/src/a.rs",
+                    "fn f() { if gridmtd_faults::point!(\"x.a.typo\") { } }\n\
+                     fn g() { if gridmtd_faults::point!(\"x.a.boom\") { } }\n",
+                ),
+                (
+                    "crates/x/src/b.rs",
+                    "fn h() { if gridmtd_faults::point!(\"x.a.boom\") { } }\n",
+                ),
+            ],
+            &["x.a.boom", "x.a.stale"],
+        );
+        let fired: Vec<(String, usize, String)> = check_fault_points(&files)
+            .into_iter()
+            .map(|f| (f.file, f.line, f.message))
+            .collect();
+        assert_eq!(fired.len(), 3, "{fired:?}");
+        assert!(fired
+            .iter()
+            .any(|(f, l, m)| f == "crates/x/src/a.rs" && *l == 1 && m.contains("not in")));
+        assert!(fired.iter().any(|(f, l, m)| f == "crates/x/src/b.rs"
+            && *l == 1
+            && m.contains("another call site")));
+        assert!(fired
+            .iter()
+            .any(|(f, _, m)| f == super::FAULT_REGISTRY_PATH && m.contains("x.a.stale")));
+    }
+
+    #[test]
+    fn fault_points_ignore_test_code_and_missing_registry() {
+        // point! uses in tests directories or #[cfg(test)] regions are
+        // harness plumbing, not injection sites.
+        let files = fault_files(
+            &[
+                ("crates/x/src/a.rs", "fn f() { if gridmtd_faults::point!(\"x.a.boom\") { } }\n"),
+                ("crates/x/tests/t.rs", "fn t() { let _ = gridmtd_faults::point!(\"x.a.boom\"); }\n"),
+                (
+                    "crates/x/src/c.rs",
+                    "#[cfg(test)]\nmod tests {\n    fn t() { let _ = gridmtd_faults::point!(\"x.a.boom\"); }\n}\n",
+                ),
+            ],
+            &["x.a.boom"],
+        );
+        assert!(check_fault_points(&files).is_empty());
+        // No registry in the file set (sub-tree run): pass is a no-op.
+        let orphan = vec![(
+            "crates/x/src/a.rs".to_string(),
+            "fn f() { if gridmtd_faults::point!(\"no.such.name\") { } }\n".to_string(),
+        )];
+        assert!(check_fault_points(&orphan).is_empty());
     }
 
     #[test]

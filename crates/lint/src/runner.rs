@@ -12,7 +12,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{lint_source, Finding};
+use crate::rules::{check_fault_points, lint_source, Finding};
 
 /// Directory names never descended into: VCS and build output,
 /// `vendor/` (offline registry stand-ins, out-of-workspace by design —
@@ -58,6 +58,7 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 /// abort the run (a lint that silently skips files is worse than none).
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in workspace_files(root)? {
         let src = fs::read_to_string(&path)?;
         let rel = path
@@ -68,7 +69,11 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .collect::<Vec<_>>()
             .join("/");
         findings.extend(lint_source(&rel, &src));
+        sources.push((rel, src));
     }
+    // The fault-point rule is cross-file by nature: it reconciles every
+    // `point!` call site against the one registry.
+    findings.extend(check_fault_points(&sources));
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
 }

@@ -191,6 +191,12 @@ pub fn lbfgs_box<F: FnMut(&[f64], Option<&mut [f64]>) -> f64>(
             if evals >= opts.max_evals {
                 break;
             }
+            // Injection point: an exhausted line search keeps the
+            // current iterate (the `accepted = None` path below); the
+            // optimizer must degrade to a valid, audited result.
+            if gridmtd_faults::point!("opf.lbfgs.line_search") {
+                break;
+            }
             let mut xt: Vec<f64> = x
                 .iter()
                 .zip(d.iter())

@@ -813,6 +813,12 @@ fn warm_resolve(std: &Standardized, saved: &[usize]) -> Result<WarmOutcome, LpEr
     if m == 0 || saved.len() != m || saved.iter().any(|&j| j >= n + m) {
         return Ok(WarmOutcome::FallBackCold);
     }
+    // Injection point for the chaos matrix: forcing the fallback here
+    // must leave the returned solution bit-identical (the cold path is
+    // the certifier the warm path is pinned against).
+    if gridmtd_faults::point!("opf.lp.warm_resolve") {
+        return Ok(WarmOutcome::FallBackCold);
+    }
 
     let Ok(lu) = BasisFactor::factor(std, saved) else {
         return Ok(WarmOutcome::FallBackCold); // singular basis
@@ -941,6 +947,11 @@ fn warm_repair(
     let m = std.a.len();
     let n = std.total_cols;
     if saved.iter().any(|&j| j >= n) {
+        return Ok(WarmOutcome::FallBackCold);
+    }
+    // Injection point: a repair that gives up must degrade to the cold
+    // path with a bit-identical solution, never a wrong answer.
+    if gridmtd_faults::point!("opf.lp.warm_repair") {
         return Ok(WarmOutcome::FallBackCold);
     }
     let Ok(mut t) = lu.tableau(std, xb) else {

@@ -127,6 +127,38 @@ proptest! {
     }
 
     #[test]
+    fn cold_fallback_after_basis_invalidation_is_bit_identical_to_cold(
+        (lp, _costs, _rhs) in random_lp(5, 3),
+        newrow in proptest::collection::vec(-2.0..2.0f64, 5),
+        newrhs in 1.0..8.0f64,
+    ) {
+        // A grown constraint set invalidates the saved basis by shape,
+        // forcing the warm engine down its fallback chain. The contract
+        // is stronger than "same objective": the fallback *is* the cold
+        // two-phase solve, so the answer must not move by a single bit
+        // relative to a fresh solver that never had a basis.
+        let mut solver = LpSolver::new();
+        prop_assert!(solver.solve(&lp).is_ok());
+        let mut grown = lp.clone();
+        let row: Vec<(usize, f64)> = newrow.iter().enumerate().map(|(v, &a)| (v, a)).collect();
+        grown.add_constraint(row, Relation::Le, newrhs);
+
+        let via_fallback = solver.solve(&grown);
+        prop_assert_eq!(solver.cold_solves(), 2, "shape change must invalidate the basis");
+        let pure_cold = grown.solve();
+        match (via_fallback, pure_cold) {
+            (Ok(w), Ok(c)) => {
+                prop_assert_eq!(w.objective.to_bits(), c.objective.to_bits());
+                prop_assert_eq!(w.x.len(), c.x.len());
+                for (a, b) in w.x.iter().zip(c.x.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            (w, c) => prop_assert_eq!(w, c, "fallback and cold must agree on failure mode"),
+        }
+    }
+
+    #[test]
     fn dc_power_flow_balances_on_scale_cases(
         shares in proptest::collection::vec(0.2..1.0f64, 16),
         which in 0..2usize,

@@ -1,0 +1,312 @@
+//! The `chaos` replay driver: run a deterministic request workload
+//! against an in-process server while each registered fault point
+//! fires on a seeded schedule, and report what every fault class did
+//! to the service.
+//!
+//! For each name in [`gridmtd_faults::registry::ALL`] the driver
+//! starts a fresh server, arms a [`gridmtd_faults::FaultPlan`] with a
+//! probabilistic trigger derived from the run seed, and replays
+//! `requests` `select` calls through [`Client::call_raw_with_retry`].
+//! Every request must end in one of three audited outcomes:
+//!
+//! - **ok** — a `result` frame (the pipeline absorbed the fault via a
+//!   documented fallback chain);
+//! - **typed error** — an `error` frame with a JSON-RPC code (the
+//!   fault was surfaced as a contract, not a panic);
+//! - **disconnect / stall** — the connection died or went quiet inside
+//!   the driver's bounded read timeout, and the next attempt
+//!   reconnected cleanly.
+//!
+//! A hang past the timeout, a server that stops accepting, or a
+//! request that vanishes without an outcome fails the run. With
+//! `GRIDMTD_BENCH_JSON` set, one row per fault class is appended
+//! (`{"bench":"chaos/<point>","mean_ns":…,"iters":…}`).
+//!
+//! Requires a build with the `fault-injection` feature; on a normal
+//! build [`run`] refuses loudly rather than reporting a vacuous
+//! all-green sweep whose points can never fire.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use gridmtd_faults::{FaultPlan, Trigger};
+use gridmtd_scenario::json::Json;
+
+use crate::client::{Client, RetryOptions};
+use crate::server::{ServeOptions, Server};
+
+/// Chaos sweep configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Case the session spec names.
+    pub case: String,
+    /// Requests replayed per fault class.
+    pub requests: usize,
+    /// Seed for the fault schedule and the retry jitter.
+    pub seed: u64,
+    /// Probability that an armed point fires per consultation.
+    pub fire_prob: f64,
+    /// Server configuration for each per-point server.
+    pub spawn: ServeOptions,
+    /// Client-side read bound — the "never hang" budget per request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> ChaosOptions {
+        ChaosOptions {
+            case: "case4".to_string(),
+            requests: 16,
+            seed: 0,
+            fire_prob: 0.25,
+            spawn: ServeOptions::default(),
+            // A legitimate case4 response is milliseconds; 5 s of
+            // silence is a stall, and keeping the bound tight keeps a
+            // stall-heavy sweep inside CI's hard timeout.
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one fault class did to the workload.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The registered injection-point name.
+    pub point: String,
+    /// Requests answered with a `result` frame.
+    pub ok: usize,
+    /// Requests answered with a typed `error` frame.
+    pub typed_errors: usize,
+    /// Requests whose connection died (reconnected and continued).
+    pub disconnects: usize,
+    /// Requests that hit the bounded read timeout (reconnected).
+    pub stalls: usize,
+    /// Times the armed point was consulted during the replay.
+    pub consultations: u64,
+    /// Times the armed point fired.
+    pub fired: u64,
+    /// Mean wall-clock per request outcome.
+    pub mean: Duration,
+}
+
+/// Results of a chaos sweep across every registered point.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// One entry per [`gridmtd_faults::registry::ALL`] name, in order.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl ChaosReport {
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::from("chaos sweep: every request ended in an audited outcome\n");
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:<36} ok {:>3}  typed-err {:>3}  disconnect {:>3}  stall {:>3}  (fired {}/{} consults)\n",
+                o.point, o.ok, o.typed_errors, o.disconnects, o.stalls, o.fired, o.consultations,
+            ));
+        }
+        out
+    }
+
+    /// Appends one row per fault class to `GRIDMTD_BENCH_JSON` when
+    /// set, in the bench contract shape.
+    pub fn append_bench_rows(&self) {
+        let Ok(path) = std::env::var("GRIDMTD_BENCH_JSON") else {
+            return;
+        };
+        let mut lines = String::new();
+        for o in &self.outcomes {
+            #[allow(clippy::cast_precision_loss)]
+            let mean_ns = o.mean.as_nanos() as f64;
+            let iters = o.ok + o.typed_errors + o.disconnects + o.stalls;
+            lines.push_str(&format!(
+                "{{\"bench\":\"chaos/{}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}\n",
+                o.point,
+            ));
+        }
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("warning: could not append to {path}: {e}");
+        }
+    }
+}
+
+/// Runs the sweep: one server + one armed fault class at a time, the
+/// same seeded workload replayed against each.
+///
+/// # Errors
+///
+/// [`std::io::Error`] when the build lacks the `fault-injection`
+/// feature, a server fails to start, or a request produces no audited
+/// outcome within the retry budget (including the bounded-timeout
+/// "never hang" violation).
+pub fn run(opts: &ChaosOptions) -> std::io::Result<ChaosReport> {
+    if !gridmtd_faults::ENABLED {
+        return Err(std::io::Error::other(
+            "this build has no fault-injection support; rebuild with \
+             `--features fault-injection` (points can never fire here, \
+             so a sweep would be vacuously green)",
+        ));
+    }
+    let mut outcomes = Vec::with_capacity(gridmtd_faults::registry::ALL.len());
+    for (index, point) in gridmtd_faults::registry::ALL.iter().enumerate() {
+        outcomes.push(run_point(opts, point, index as u64)?);
+    }
+    Ok(ChaosReport { outcomes })
+}
+
+fn run_point(opts: &ChaosOptions, point: &str, index: u64) -> std::io::Result<PointOutcome> {
+    let mut server = Server::start(&opts.spawn)?;
+    let addr = server.local_addr().to_string();
+    let session = Json::obj(vec![
+        ("case", Json::Str(opts.case.clone())),
+        (
+            "config",
+            Json::obj(vec![
+                ("seed", Json::Int(7)),
+                ("n_attacks", Json::Int(8)),
+                ("n_starts", Json::Int(1)),
+                ("max_evals_per_start", Json::Int(20)),
+            ]),
+        ),
+    ]);
+    // One derived stream per fault class: the retry jitter and the
+    // fault schedule replay bit-identically from (--seed, point index).
+    let point_seed = gridmtd_core::seedstream::mix(opts.seed, index);
+    let retry = RetryOptions {
+        attempts: 3,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        seed: gridmtd_core::seedstream::mix(point_seed, 1),
+    };
+
+    let active = FaultPlan::new(point_seed)
+        .fail(point, Trigger::Prob(opts.fire_prob))
+        .activate();
+
+    let (mut ok, mut typed_errors, mut disconnects, mut stalls) = (0, 0, 0, 0);
+    let mut latencies = Vec::with_capacity(opts.requests);
+    let mut conn: Option<Client> = None;
+    for i in 0..opts.requests {
+        // Vary the threshold so successive requests exercise fresh
+        // selection work against the warm session.
+        let threshold = 0.02 + 0.01 * f64::from(u32::try_from(i % 5).unwrap_or(0));
+        let params = Json::obj(vec![("gamma_threshold", Json::Num(threshold))]);
+        let started = Instant::now();
+        let outcome = send_one(
+            &addr,
+            &mut conn,
+            &session,
+            &params,
+            opts.read_timeout,
+            &retry,
+            i,
+        )?;
+        latencies.push(started.elapsed());
+        match outcome {
+            Outcome::Ok => ok += 1,
+            Outcome::TypedError => typed_errors += 1,
+            Outcome::Disconnect => disconnects += 1,
+            Outcome::Stall => stalls += 1,
+        }
+    }
+
+    let consultations = active.calls(point);
+    let fired = active.fired(point);
+    drop(active);
+    server.shutdown();
+
+    #[allow(clippy::cast_possible_truncation)]
+    let mean = if latencies.is_empty() {
+        Duration::ZERO
+    } else {
+        let nanos = (latencies.iter().map(Duration::as_nanos).sum::<u128>()
+            / latencies.len() as u128) as u64;
+        Duration::from_nanos(nanos)
+    };
+    Ok(PointOutcome {
+        point: point.to_string(),
+        ok,
+        typed_errors,
+        disconnects,
+        stalls,
+        consultations,
+        fired,
+        mean,
+    })
+}
+
+enum Outcome {
+    Ok,
+    TypedError,
+    Disconnect,
+    Stall,
+}
+
+/// Sends one request, reusing `conn` when it is still alive and
+/// reconnecting (once) when it is not. An injected read/write fault
+/// kills at most this request's connection; the follow-up retry-ping
+/// proves the server itself survived.
+///
+/// # Errors
+///
+/// [`std::io::Error`] when even the retry-with-backoff ping cannot
+/// reach the server — the one thing no fault class is allowed to do.
+fn send_one(
+    addr: &str,
+    conn: &mut Option<Client>,
+    session: &Json,
+    params: &Json,
+    read_timeout: Duration,
+    retry: &RetryOptions,
+    request_index: usize,
+) -> std::io::Result<Outcome> {
+    let mut stalled = false;
+    for fresh in [false, true] {
+        if conn.is_none() || fresh {
+            *conn = Client::connect(addr)
+                .and_then(|c| {
+                    c.set_read_timeout(Some(read_timeout))?;
+                    Ok(c)
+                })
+                .ok();
+        }
+        let Some(client) = conn.as_mut() else {
+            continue;
+        };
+        let frame = client.request_frame("select", session, params);
+        match client.call_raw(&frame) {
+            Ok(line) => {
+                return Ok(if line.contains("\"error\"") {
+                    Outcome::TypedError
+                } else {
+                    Outcome::Ok
+                });
+            }
+            Err(e) => {
+                use std::io::ErrorKind::{TimedOut, WouldBlock};
+                stalled = stalled || matches!(e.kind(), WouldBlock | TimedOut);
+                *conn = None;
+            }
+        }
+    }
+    // Both the reused and a fresh connection failed this request:
+    // record the class, but first prove the server is still standing.
+    let ping = format!("{{\"id\":{request_index},\"method\":\"ping\"}}");
+    Client::call_raw_with_retry(addr, &ping, retry).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("server unreachable after injected fault: {e}"),
+        )
+    })?;
+    Ok(if stalled {
+        Outcome::Stall
+    } else {
+        Outcome::Disconnect
+    })
+}

@@ -3,8 +3,54 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use gridmtd_scenario::json::Json;
+
+/// Retry policy for [`Client::call_raw_with_retry`]: capped exponential
+/// backoff with deterministic jitter.
+///
+/// The jitter is drawn from `core::seedstream::mix(seed, attempt)` —
+/// no wall clock, no global RNG — so a retrying workload replays
+/// bit-identically from its seed while still decorrelating the retry
+/// storms of distinct clients (give each a different `seed`).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryOptions {
+    /// Total attempts (first try included). Minimum 1.
+    pub attempts: u32,
+    /// Backoff before retry `k` (1-based) starts from
+    /// `base_delay << (k-1)`, halved and re-filled with jitter.
+    pub base_delay: Duration,
+    /// Cap applied to the exponential schedule.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryOptions {
+    fn default() -> RetryOptions {
+        RetryOptions {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryOptions {
+    /// The jittered pause before 1-based retry `attempt`: half the
+    /// capped exponential delay deterministic, half jittered.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = u64::try_from(self.base_delay.as_millis()).unwrap_or(u64::MAX);
+        let cap = u64::try_from(self.max_delay.as_millis()).unwrap_or(u64::MAX);
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(32)); // capped below
+        let delay = exp.min(cap).max(1);
+        let span = delay / 2 + 1;
+        let jitter = gridmtd_core::seedstream::mix(self.seed, u64::from(attempt)) % span;
+        Duration::from_millis(delay / 2 + jitter)
+    }
+}
 
 /// One connection to a running server.
 pub struct Client {
@@ -28,6 +74,20 @@ impl Client {
             writer,
             next_id: 0,
         })
+    }
+
+    /// Bounds every subsequent read; `None` blocks forever (the
+    /// default). A timed-out read surfaces as
+    /// [`std::io::ErrorKind::WouldBlock`] or
+    /// [`std::io::ErrorKind::TimedOut`] depending on platform. Chaos
+    /// and test drivers set this so a server that drops a response
+    /// (an injected writer fault) costs one bounded wait, not a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the socket rejects the option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends one raw frame line (no newline) and returns the raw
@@ -85,6 +145,58 @@ impl Client {
     pub fn call(&mut self, method: &str, session: &Json, params: &Json) -> std::io::Result<String> {
         let frame = self.request_frame(method, session, params);
         self.call_raw(&frame)
+    }
+
+    /// Sends `frame` on a fresh connection, retrying on socket errors
+    /// and on typed [`OVERLOADED`](crate::wire::OVERLOADED) responses
+    /// with capped, seeded-jitter backoff. Returns the final response
+    /// line and the number of attempts spent (1 = first try
+    /// succeeded). The last `OVERLOADED` response is returned as-is
+    /// when the budget runs out — a typed answer, not an error.
+    ///
+    /// Each attempt reconnects: the common retryable failures (server
+    /// restarting, connection reaped as idle, reader thread gone) all
+    /// kill the old socket.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's [`std::io::Error`] when every attempt failed
+    /// at the socket level.
+    pub fn call_raw_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        frame: &str,
+        opts: &RetryOptions,
+    ) -> std::io::Result<(String, u32)> {
+        let attempts = opts.attempts.max(1);
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                std::thread::sleep(opts.backoff(attempt - 1));
+            }
+            match Client::connect(addr).and_then(|mut c| c.call_raw(frame)) {
+                Ok(line) => {
+                    let overloaded = Json::parse(&line)
+                        .ok()
+                        .and_then(|doc| match doc.get("error")?.get("code")? {
+                            Json::Int(code) => Some(*code),
+                            _ => None,
+                        })
+                        .is_some_and(|code| code == crate::wire::OVERLOADED);
+                    if !overloaded || attempt == attempts {
+                        return Ok((line, attempt));
+                    }
+                }
+                Err(e) => {
+                    if attempt == attempts {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        // Unreachable: the loop returns on its final attempt. Keep a
+        // typed error rather than a panic if that invariant ever bends.
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("retry budget exhausted")))
     }
 
     /// Renders a request frame with a fresh auto-incremented id.

@@ -17,8 +17,13 @@
 //!   symbolic factorizations, QR bases, and attack ensembles.
 //! - **[`server`]** — accept/reader/writer/worker thread anatomy with
 //!   same-session request coalescing into single `run_batch` calls.
-//! - **[`client`]** / **[`loadtest`]** — a minimal blocking client and
-//!   the replay driver behind `gridmtd loadtest`.
+//! - **[`client`]** / **[`loadtest`]** — a minimal blocking client
+//!   (with [`RetryOptions`] seeded-backoff retry) and the replay
+//!   driver behind `gridmtd loadtest`.
+//! - **[`chaos`]** — the fault-injection sweep behind `gridmtd chaos`:
+//!   replays a workload while each registered
+//!   [`gridmtd_core::faults`] point fires on a seeded schedule
+//!   (requires the `fault-injection` feature).
 //!
 //! Responses are **bit-identical** to direct in-process session calls:
 //! both render through the deterministic
@@ -47,6 +52,7 @@
 //! # }
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod loadtest;
 pub mod lru;
@@ -54,7 +60,8 @@ pub mod server;
 pub mod session_key;
 pub mod wire;
 
-pub use client::Client;
+pub use chaos::{run as run_chaos, ChaosOptions, ChaosReport};
+pub use client::{Client, RetryOptions};
 pub use loadtest::{run as run_loadtest, LoadtestOptions, LoadtestReport};
 pub use lru::{LruStats, SessionLru};
 pub use server::{ServeOptions, Server, ServerStats};

@@ -32,6 +32,10 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+// Operational timing only (idle reaping, request deadlines) — never on
+// a result path: responses stay a pure function of request content.
+// This file is on the lint's wallclock allow-list for that reason.
+use std::time::{Duration, Instant};
 
 use gridmtd_core::session::batch::Request;
 use gridmtd_scenario::json::Json;
@@ -55,6 +59,23 @@ pub struct ServeOptions {
     /// Request frames longer than this (bytes, excluding the newline)
     /// are rejected with [`FRAME_TOO_LARGE`].
     pub max_frame_bytes: usize,
+    /// A connection that sends no bytes for this long is reaped: its
+    /// socket is closed and its reader/writer threads are reclaimed
+    /// (`None` disables reaping). Without it, every dead-but-unclosed
+    /// client leaks two parked threads forever.
+    pub idle_timeout: Option<Duration>,
+    /// Server-side default deadline for queued pipeline requests,
+    /// measured from enqueue. A request whose deadline passes before a
+    /// worker picks it up is answered with
+    /// [`wire::DEADLINE_EXCEEDED`]
+    /// instead of running late work nobody is waiting for. A frame's
+    /// own `deadline_ms` tightens (never loosens) this.
+    pub request_deadline: Option<Duration>,
+    /// Most pipeline jobs allowed to wait in the worker queue. Beyond
+    /// it, new requests are shed immediately with
+    /// [`wire::OVERLOADED`] — bounded latency
+    /// under overload instead of an unbounded queue.
+    pub queue_max: usize,
 }
 
 impl Default for ServeOptions {
@@ -65,6 +86,9 @@ impl Default for ServeOptions {
             workers: 2,
             batch_max: 16,
             max_frame_bytes: 4 << 20,
+            idle_timeout: Some(Duration::from_secs(60)),
+            request_deadline: None,
+            queue_max: 1024,
         }
     }
 }
@@ -86,6 +110,12 @@ pub struct ServerStats {
     pub coalesced: u64,
     /// Connections accepted since start.
     pub connections: u64,
+    /// Idle connections reaped by [`ServeOptions::idle_timeout`].
+    pub reaped: u64,
+    /// Requests shed with `OVERLOADED` by [`ServeOptions::queue_max`].
+    pub shed: u64,
+    /// Requests answered `DEADLINE_EXCEEDED` without being run.
+    pub expired: u64,
 }
 
 /// One queued pipeline request.
@@ -95,6 +125,9 @@ struct Job {
     spec: SessionSpec,
     request: Request,
     out: mpsc::Sender<String>,
+    /// When this job stops being worth starting (see
+    /// [`ServeOptions::request_deadline`]); `None` = no deadline.
+    deadline: Option<Instant>,
 }
 
 struct Shared {
@@ -104,10 +137,16 @@ struct Shared {
     shutdown: AtomicBool,
     batch_max: usize,
     max_frame_bytes: usize,
+    idle_timeout: Option<Duration>,
+    request_deadline: Option<Duration>,
+    queue_max: usize,
     requests: AtomicU64,
     batches: AtomicU64,
     coalesced: AtomicU64,
     connections: AtomicU64,
+    reaped: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
     conns: Mutex<Vec<TcpStream>>,
 }
 
@@ -120,6 +159,9 @@ impl Shared {
             batches: self.batches.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,10 +191,16 @@ impl Server {
             shutdown: AtomicBool::new(false),
             batch_max: opts.batch_max.max(1),
             max_frame_bytes: opts.max_frame_bytes.max(1),
+            idle_timeout: opts.idle_timeout.filter(|t| !t.is_zero()),
+            request_deadline: opts.request_deadline,
+            queue_max: opts.queue_max.max(1),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
         });
         let mut workers = Vec::with_capacity(opts.workers.max(1));
@@ -216,10 +264,16 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // Readers blocked on idle sockets exit once their peer is gone.
+        // Readers blocked on idle sockets exit once their read half is
+        // gone. Shutting down only the *read* side keeps the drain
+        // guarantee: the workers joined above have already queued every
+        // in-flight response onto the writer channels, and the intact
+        // write halves let the writer threads flush those lines to the
+        // clients before exiting (the reader's EOF drops the channel
+        // sender, so each writer drains and terminates).
         let conns = std::mem::take(&mut *lock(&self.shared.conns));
         for conn in conns {
-            let _ = conn.shutdown(Shutdown::Both);
+            let _ = conn.shutdown(Shutdown::Read);
         }
     }
 }
@@ -259,6 +313,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             return;
         }
         shared.connections.fetch_add(1, Ordering::Relaxed);
+        // A blocking read wakes at least every idle_timeout, so a dead
+        // client's threads are reclaimed instead of parked forever.
+        if shared.idle_timeout.is_some() {
+            let _ = stream.set_read_timeout(shared.idle_timeout);
+        }
         if let Ok(clone) = stream.try_clone() {
             lock(&shared.conns).push(clone);
         }
@@ -338,6 +397,11 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
+        // Injection point: a failed socket read closes this connection
+        // (like any I/O error) and must leave the server serving.
+        if gridmtd_faults::point!("serve.conn.read") {
+            break;
+        }
         let frame = match read_frame(&mut reader, shared.max_frame_bytes) {
             Ok(FrameRead::Line(line)) => line,
             Ok(FrameRead::TooLarge) => {
@@ -350,12 +414,35 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 }
                 continue;
             }
-            Ok(FrameRead::Eof) | Err(_) => break,
+            Ok(FrameRead::Eof) => break,
+            // The read timeout elapsed with no bytes: the peer is idle
+            // (or gone without a FIN). Reap the connection — both its
+            // threads exit and the socket closes.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.reaped.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(_) => break,
         };
         if frame.trim().is_empty() {
             continue;
         }
-        let parsed = match wire::parse_frame(&frame) {
+        // Injection point: parser blow-ups must degrade to a typed
+        // parse-error response, never a dropped connection or panic.
+        let parsed = if gridmtd_faults::point!("serve.frame.parse") {
+            Err(WireError::new(
+                wire::PARSE_ERROR,
+                "fault-injection: forced frame parse failure",
+            ))
+        } else {
+            wire::parse_frame(&frame)
+        };
+        let parsed = match parsed {
             Ok(parsed) => parsed,
             Err(err) => {
                 // Salvage the id for correlation when the frame was
@@ -378,16 +465,47 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Call::Stats => Some(wire::ok_frame(&parsed.id, stats_json(&shared.stats()))),
             Call::Run(request) => match parsed.session {
                 Some(spec) => {
+                    // The effective deadline is the tighter of the
+                    // frame's own budget and the server default.
+                    let budget_ms = match (parsed.deadline_ms, shared.request_deadline) {
+                        (Some(ms), Some(default)) => {
+                            Some(ms.min(u64::try_from(default.as_millis()).unwrap_or(u64::MAX)))
+                        }
+                        (Some(ms), None) => Some(ms),
+                        (None, Some(default)) => {
+                            Some(u64::try_from(default.as_millis()).unwrap_or(u64::MAX))
+                        }
+                        (None, None) => None,
+                    };
                     let job = Job {
                         id: parsed.id,
                         key: spec.key(),
                         spec,
                         request,
                         out: tx.clone(),
+                        deadline: budget_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
                     };
-                    lock(&shared.queue).push_back(job);
-                    shared.available.notify_one();
-                    None
+                    let mut queue = lock(&shared.queue);
+                    if queue.len() >= shared.queue_max {
+                        // Shed at the door: answering OVERLOADED now
+                        // bounds queue growth and tells the client to
+                        // back off, instead of absorbing unbounded
+                        // latency the caller will time out on anyway.
+                        drop(queue);
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        Some(wire::error_frame(
+                            &job.id,
+                            &WireError::new(
+                                wire::OVERLOADED,
+                                format!("worker queue full ({} queued)", shared.queue_max),
+                            ),
+                        ))
+                    } else {
+                        queue.push_back(job);
+                        drop(queue);
+                        shared.available.notify_one();
+                        None
+                    }
                 }
                 // parse_frame attaches a session to every pipeline
                 // call; answer a typed error rather than trusting that
@@ -415,6 +533,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<String>) {
     let mut out = std::io::BufWriter::new(stream);
     while let Ok(line) = rx.recv() {
+        // Injection point: a failed response write ends this
+        // connection like any socket error; the server must keep
+        // serving other connections.
+        if gridmtd_faults::point!("serve.conn.write") {
+            return;
+        }
         if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
             return;
         }
@@ -468,6 +592,25 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_jobs(shared: &Arc<Shared>, batch: Vec<Job>) {
+    // Enforce deadlines at dispatch: a blocking batch cannot be
+    // preempted once started, so "picked up in time" is the promise —
+    // work whose waiter has already given up is dropped here with a
+    // typed error rather than burning a worker on it.
+    let now = Instant::now();
+    let (expired, batch): (Vec<Job>, Vec<Job>) = batch
+        .into_iter()
+        .partition(|job| job.deadline.is_some_and(|d| d <= now));
+    for job in &expired {
+        shared.expired.fetch_add(1, Ordering::Relaxed);
+        let err = WireError::new(
+            wire::DEADLINE_EXCEEDED,
+            "deadline elapsed before a worker could start the request",
+        );
+        let _ = job.out.send(wire::error_frame(&job.id, &err));
+    }
+    if batch.is_empty() {
+        return;
+    }
     shared
         .requests
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -475,6 +618,19 @@ fn run_jobs(shared: &Arc<Shared>, batch: Vec<Job>) {
     shared
         .coalesced
         .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+
+    // Injection point: a worker that cannot dispatch its batch must
+    // answer every job with a typed error, not drop or panic.
+    if gridmtd_faults::point!("serve.worker.dispatch") {
+        let err = WireError::new(
+            wire::PIPELINE_ERROR,
+            "fault-injection: worker dispatch failed",
+        );
+        for job in &batch {
+            let _ = job.out.send(wire::error_frame(&job.id, &err));
+        }
+        return;
+    }
 
     let session = match shared.lru.get_or_build(&batch[0].spec) {
         Ok(session) => session,
@@ -520,6 +676,9 @@ pub fn stats_json(stats: &ServerStats) -> Json {
         ("batches", int(stats.batches)),
         ("coalesced", int(stats.coalesced)),
         ("connections", int(stats.connections)),
+        ("reaped", int(stats.reaped)),
+        ("shed", int(stats.shed)),
+        ("expired", int(stats.expired)),
     ])
 }
 
@@ -535,6 +694,7 @@ mod tests {
             spec: SessionSpec::from_json(&Json::parse(r#"{"case":"case4"}"#).unwrap()).unwrap(),
             request: Request::Baseline,
             out: tx,
+            deadline: None,
         }
     }
 

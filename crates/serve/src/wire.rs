@@ -45,6 +45,13 @@ pub const INVALID_PARAMS: i64 = -32602;
 pub const PIPELINE_ERROR: i64 = -32000;
 /// Frame exceeded the server's size cap (`-32001`).
 pub const FRAME_TOO_LARGE: i64 = -32001;
+/// The worker queue is at capacity and the request was shed instead of
+/// queued (`-32002`). Clients should retry with backoff
+/// ([`crate::Client::call_raw_with_retry`] does).
+pub const OVERLOADED: i64 = -32002;
+/// The request's deadline elapsed before a worker picked it up
+/// (`-32003`). The work was never started.
+pub const DEADLINE_EXCEEDED: i64 = -32003;
 
 /// A protocol-level failure: the JSON-RPC error code plus a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +91,13 @@ pub struct Frame {
     pub id: Json,
     /// Session spec for [`Call::Run`] requests.
     pub session: Option<SessionSpec>,
+    /// Per-request deadline in milliseconds from arrival (top-level
+    /// `deadline_ms` field). The server answers
+    /// [`DEADLINE_EXCEEDED`] instead of running work it cannot start
+    /// in time; `0` means "already expired" and is the deterministic
+    /// way to probe the deadline path. Tightened by the server-side
+    /// default deadline when both are set.
+    pub deadline_ms: Option<u64>,
     /// The decoded method + parameters.
     pub call: Call,
 }
@@ -182,7 +196,21 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
             format!("method '{method}' requires a session"),
         ));
     }
-    Ok(Frame { id, session, call })
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            WireError::new(
+                INVALID_REQUEST,
+                "deadline_ms must be a non-negative integer",
+            )
+        })?),
+    };
+    Ok(Frame {
+        id,
+        session,
+        deadline_ms,
+        call,
+    })
 }
 
 /// Renders a success response frame (one line, no trailing newline).

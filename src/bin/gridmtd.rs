@@ -9,6 +9,7 @@
 //! gridmtd list [<scenarios-dir>]
 //! gridmtd serve [--addr <host:port>] [--capacity <n>] [--workers <n>] [--batch-max <n>]
 //! gridmtd loadtest [--case <name>] [--requests <n>] [--clients <n>] [--addr <host:port>]
+//! gridmtd chaos [--case <name>] [--requests <n>] [--seed <n>] [--fire-prob <p>]
 //! gridmtd lint [--root <dir>] [--format human|json]
 //! ```
 
@@ -26,8 +27,11 @@ USAGE:
     gridmtd list [<scenarios-dir>]
     gridmtd serve [--addr <host:port>] [--capacity <n>] [--workers <n>]
                   [--batch-max <n>] [--max-frame-bytes <n>]
+                  [--idle-timeout-ms <n>] [--request-deadline-ms <n>]
+                  [--queue-max <n>]
     gridmtd loadtest [--case <name>] [--requests <n>] [--clients <n>]
                      [--addr <host:port>] [--config <json>]
+    gridmtd chaos [--case <name>] [--requests <n>] [--seed <n>] [--fire-prob <p>]
     gridmtd lint [--root <dir>] [--format human|json]
 
 COMMANDS:
@@ -40,6 +44,9 @@ COMMANDS:
     loadtest   Replay a deterministic evaluate workload against a server
                (self-hosted unless --addr is given) and report p50/p99/
                throughput; appends a bench row when GRIDMTD_BENCH_JSON is set
+    chaos      Replay a select workload while each registered fault-injection
+               point fires on a seeded schedule; reports per-fault-class
+               outcome counts (requires a --features fault-injection build)
     lint       Run the first-party static-analysis pass (determinism,
                panic-safety, and seed-hygiene rules) over every workspace
                .rs file; exits non-zero on any finding
@@ -54,10 +61,21 @@ OPTIONS:
     --workers <n>          serve: worker-pool size (default 2)
     --batch-max <n>        serve: max requests coalesced per batch (default 16)
     --max-frame-bytes <n>  serve: request-frame size cap (default 4194304)
-    --case <name>          loadtest: session case (default case4)
-    --requests <n>         loadtest: total requests (default 64)
+    --idle-timeout-ms <n>  serve: reap connections idle this long (default
+                           60000; 0 disables reaping)
+    --request-deadline-ms <n>
+                           serve: default deadline for queued requests
+                           (default 0 = none; frames tighten it per-request
+                           via their own deadline_ms field)
+    --queue-max <n>        serve: worker-queue bound; beyond it requests are
+                           shed with OVERLOADED (default 1024)
+    --case <name>          loadtest/chaos: session case (default case4)
+    --requests <n>         loadtest: total requests (default 64);
+                           chaos: requests per fault class (default 16)
     --clients <n>          loadtest: concurrent connections (default 4)
     --config <json>        loadtest: session config overrides, e.g. '{\"seed\":3}'
+    --seed <n>             chaos: fault-schedule and retry-jitter seed (default 0)
+    --fire-prob <p>        chaos: per-consultation fire probability (default 0.25)
     --root <dir>           lint: workspace root to scan (default: .)
     --format <fmt>         lint: report format, human (default) or json
 ";
@@ -70,6 +88,7 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             print!("{USAGE}");
@@ -248,6 +267,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(n) => opts.max_frame_bytes = n,
                 None => return usage_error("--max-frame-bytes takes a positive integer"),
             },
+            // 0 disables: `Server::start` filters zero durations out.
+            "--idle-timeout-ms" => match parse_millis(iter.next()) {
+                Some(t) => opts.idle_timeout = t,
+                None => return usage_error("--idle-timeout-ms takes a non-negative integer"),
+            },
+            "--request-deadline-ms" => match parse_millis(iter.next()) {
+                Some(t) => opts.request_deadline = t,
+                None => return usage_error("--request-deadline-ms takes a non-negative integer"),
+            },
+            "--queue-max" => match parse_count(iter.next()) {
+                Some(n) => opts.queue_max = n,
+                None => return usage_error("--queue-max takes a positive integer"),
+            },
             other => return usage_error(&format!("unknown option `{other}`")),
         }
     }
@@ -320,6 +352,52 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    if !gridmtd::faults::ENABLED {
+        eprintln!(
+            "chaos needs a fault-injection build: rerun as\n  \
+             cargo run --release --features fault-injection --bin gridmtd -- chaos ...\n\
+             (in this build every injection point is compiled to a dead branch,\n\
+             so a sweep would be vacuously green)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut opts = serve::ChaosOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--case" => match iter.next() {
+                Some(case) => opts.case = case.clone(),
+                None => return usage_error("--case takes a case name"),
+            },
+            "--requests" => match parse_count(iter.next()) {
+                Some(n) => opts.requests = n,
+                None => return usage_error("--requests takes a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(seed) => opts.seed = seed,
+                None => return usage_error("--seed takes a non-negative integer"),
+            },
+            "--fire-prob" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if (0.0..=1.0).contains(&p) => opts.fire_prob = p,
+                _ => return usage_error("--fire-prob takes a probability in [0, 1]"),
+            },
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+    match serve::run_chaos(&opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            report.append_bench_rows();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_lint(args: &[String]) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
@@ -360,6 +438,14 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 
 fn parse_count(arg: Option<&String>) -> Option<usize> {
     arg.and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// Parses a millisecond knob where `0` means "disabled" (`None`).
+/// Returns `None` (outer) on unparseable input.
+#[allow(clippy::option_option)]
+fn parse_millis(arg: Option<&String>) -> Option<Option<std::time::Duration>> {
+    let ms = arg.and_then(|v| v.parse::<u64>().ok())?;
+    Some((ms > 0).then(|| std::time::Duration::from_millis(ms)))
 }
 
 fn usage_error(message: &str) -> ExitCode {

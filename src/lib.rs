@@ -16,6 +16,7 @@
 //! | [`traces`] | `gridmtd-traces` | daily load traces |
 //! | [`scenario`] | `gridmtd-scenario` | declarative TOML sweep specs + engine |
 //! | [`serve`] | `gridmtd-serve` | line-delimited JSON-RPC daemon + warm-session LRU |
+//! | [`faults`] | `gridmtd-faults` | deterministic fault injection (named points, seeded triggers) |
 //! | [`lint`] | `gridmtd-lint` | workspace static analysis: determinism / panic-safety / seed-hygiene rules |
 //!
 //! The `gridmtd` **binary** (this package's `src/bin/gridmtd.rs`) runs
@@ -51,6 +52,7 @@
 pub use gridmtd_attack as attack;
 pub use gridmtd_core as mtd;
 pub use gridmtd_estimation as estimation;
+pub use gridmtd_faults as faults;
 pub use gridmtd_linalg as linalg;
 pub use gridmtd_lint as lint;
 pub use gridmtd_opf as opf;
